@@ -1,0 +1,241 @@
+// Command dpcbench regenerates the paper's evaluation artifacts: Table 1
+// (simulation parameters), Table 2 (application characteristics), Figures
+// 9(a)/9(b) (normalized disk energy for 1 and 4 processors), and Figures
+// 10(a)/10(b) (disk I/O time degradation), plus parameter-sweep ablations.
+//
+// Usage:
+//
+//	dpcbench -all                 # everything at the default scale
+//	dpcbench -table 2             # just Table 2
+//	dpcbench -figure 9b           # just Figure 9(b)
+//	dpcbench -ablation stripes    # stripe-factor sweep
+//	dpcbench -size tiny           # quick run at test scale
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"diskreuse/internal/apps"
+	"diskreuse/internal/disk"
+	"diskreuse/internal/exp"
+	"diskreuse/internal/layoutopt"
+	"diskreuse/internal/sema"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "", "regenerate a table: 1 or 2")
+		figure   = flag.String("figure", "", "regenerate a figure: 9a, 9b, 10a, or 10b")
+		ablation = flag.String("ablation", "", "run an ablation: stripes, threshold, window, layoutopt")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		size     = flag.String("size", "default", "workload scale: tiny or default")
+		procs    = flag.Int("procs", 4, "processor count for the (b) figures")
+		csvPath  = flag.String("csv", "", "also write the suite results in CSV long form to this file")
+	)
+	flag.Parse()
+	if err := run(*table, *figure, *ablation, *all, *size, *procs, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "dpcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func sizeOf(s string) (apps.Size, error) {
+	switch s {
+	case "tiny":
+		return apps.Tiny, nil
+	case "default", "":
+		return apps.Default, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func run(table, figure, ablation string, all bool, sizeName string, procs int, csvPath string) error {
+	size, err := sizeOf(sizeName)
+	if err != nil {
+		return err
+	}
+	if !all && table == "" && figure == "" && ablation == "" {
+		all = true
+	}
+
+	var suite1, suiteN *exp.SuiteResult
+	need1 := all || table == "2" || figure == "9a" || figure == "10a" || csvPath != ""
+	needN := all || figure == "9b" || figure == "10b" || csvPath != ""
+	if need1 {
+		if suite1, err = exp.RunSuite(exp.Options{Size: size, Procs: 1}); err != nil {
+			return err
+		}
+	}
+	if needN {
+		if suiteN, err = exp.RunSuite(exp.Options{Size: size, Procs: procs}); err != nil {
+			return err
+		}
+	}
+
+	if all || table == "1" {
+		fmt.Println("Table 1: default simulation parameters")
+		fmt.Println(exp.Table1(disk.Ultrastar36Z15(), sema.Options{}))
+	}
+	if all || table == "2" {
+		fmt.Println("Table 2: applications and their characteristics")
+		fmt.Println(exp.Table2(suite1))
+	}
+	if all || figure == "9a" {
+		fmt.Println(exp.Figure9(suite1))
+	}
+	if all || figure == "9b" {
+		fmt.Println(exp.Figure9(suiteN))
+	}
+	if all || figure == "10a" {
+		fmt.Println(exp.Figure10(suite1))
+	}
+	if all || figure == "10b" {
+		fmt.Println(exp.Figure10(suiteN))
+	}
+	if all {
+		fmt.Println("Average savings/degradations, single processor:")
+		fmt.Println(exp.Summary(suite1))
+		fmt.Printf("Average savings/degradations, %d processors:\n", procs)
+		fmt.Println(exp.Summary(suiteN))
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := exp.WriteCSV(f, suite1); err != nil {
+			return err
+		}
+		// Append the multiprocessor rows without repeating the header.
+		var buf bytes.Buffer
+		if err := exp.WriteCSV(&buf, suiteN); err != nil {
+			return err
+		}
+		body := buf.String()
+		if i := strings.IndexByte(body, '\n'); i >= 0 {
+			body = body[i+1:]
+		}
+		if _, err := f.WriteString(body); err != nil {
+			return err
+		}
+		fmt.Printf("wrote CSV results to %s\n", csvPath)
+	}
+
+	switch ablation {
+	case "":
+	case "stripes":
+		return ablationStripes(size)
+	case "threshold":
+		return ablationThreshold(size)
+	case "window":
+		return ablationWindow(size)
+	case "layoutopt":
+		return ablationLayoutOpt(size)
+	case "proactive":
+		return ablationProactive(size)
+	case "raid":
+		return ablationRAID(size)
+	default:
+		return fmt.Errorf("unknown ablation %q", ablation)
+	}
+	return nil
+}
+
+// ablationStripes sweeps the TPM threshold-relevant clustering knob: the
+// T-DRPM-s saving as the apps' energy is re-evaluated per configuration.
+func ablationStripes(size apps.Size) error {
+	fmt.Println("Ablation: layout optimizer candidate stripe configurations (AST)")
+	a, err := apps.ByName("AST", size)
+	if err != nil {
+		return err
+	}
+	return layoutopt.Report(os.Stdout, a)
+}
+
+func ablationThreshold(size apps.Size) error {
+	fmt.Println("Ablation: TPM idleness threshold sweep (suite average T-TPM-s saving)")
+	for _, thr := range []float64{5, 10, 15.2, 30, 60} {
+		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, TPMThreshold: thr})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  threshold %5.1f s: T-TPM-s saving %6.2f%%  (TPM alone %6.2f%%)\n",
+			thr, 100*sr.AverageSaving(exp.VTTPMs), 100*sr.AverageSaving(exp.VTPM))
+	}
+	return nil
+}
+
+func ablationWindow(size apps.Size) error {
+	fmt.Println("Ablation: DRPM controller window sweep (suite average T-DRPM-s saving)")
+	for _, win := range []int{25, 50, 100, 200, 400} {
+		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, DRPMWindow: win})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  window %4d requests: T-DRPM-s saving %6.2f%%  perf %5.2f%%\n",
+			win, 100*sr.AverageSaving(exp.VTDRPMs), 100*sr.AverageDegradation(exp.VTDRPMs))
+	}
+	return nil
+}
+
+// ablationRAID sweeps the RAID-level striping width of Fig. 1 — the paper's
+// footnote reports that low-level striping "generated similar results",
+// i.e. the normalized savings barely move.
+func ablationRAID(size apps.Size) error {
+	fmt.Println("Ablation: RAID-level striping width (suite averages, 1 processor)")
+	for _, w := range []int{1, 2, 4} {
+		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, RAIDWidth: w})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  width %d: T-TPM-s %6.2f%%  T-DRPM-s %6.2f%%\n",
+			w, 100*sr.AverageSaving(exp.VTTPMs), 100*sr.AverageSaving(exp.VTDRPMs))
+	}
+	return nil
+}
+
+// ablationProactive compares reactive T-TPM against the P-TPM extension
+// (compiler-inserted spin-up directives, Son et al. [25]).
+func ablationProactive(size apps.Size) error {
+	fmt.Println("Ablation: proactive spin-up extension (restructured TPM, 1 processor)")
+	sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, Proactive: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-10s %16s %16s %18s\n", "app", "T-TPM-s (norm)", "P-TPM (norm)", "response -%")
+	for i := range sr.Apps {
+		ar := &sr.Apps[i]
+		re, ok1 := ar.Get(exp.VTTPMs)
+		pr, ok2 := ar.Get(exp.VPTPM)
+		if !ok1 || !ok2 {
+			continue
+		}
+		respGain := 0.0
+		if re.Response > 0 {
+			respGain = 100 * (re.Response - pr.Response) / re.Response
+		}
+		fmt.Printf("  %-10s %16.3f %16.3f %17.1f%%\n", ar.App.Name, re.NormEnergy, pr.NormEnergy, respGain)
+	}
+	fmt.Printf("  suite average saving: T-TPM-s %.2f%%, P-TPM %.2f%%\n",
+		100*sr.AverageSaving(exp.VTTPMs), 100*sr.AverageSaving(exp.VPTPM))
+	return nil
+}
+
+func ablationLayoutOpt(size apps.Size) error {
+	fmt.Println("Ablation: unified layout+restructuring optimizer (paper §8 future work)")
+	for _, name := range []string{"AST", "FFT", "SCF"} {
+		a, err := apps.ByName(name, size)
+		if err != nil {
+			return err
+		}
+		if err := layoutopt.Report(os.Stdout, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}

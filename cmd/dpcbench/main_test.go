@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = outW
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out strings.Builder
+		for {
+			n, err := outR.Read(buf)
+			out.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- out.String()
+	}()
+	ferr := fn()
+	outW.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+func TestTable1(t *testing.T) {
+	out := capture(t, func() error { return run("1", "", "", false, "tiny", 2, "") })
+	if !strings.Contains(out, "IBM Ultrastar 36Z15") || !strings.Contains(out, "15.2 sec") {
+		t.Errorf("Table 1 output:\n%s", out)
+	}
+}
+
+func TestTable2AndFigures(t *testing.T) {
+	out := capture(t, func() error { return run("2", "", "", false, "tiny", 2, "") })
+	if !strings.Contains(out, "Number of Disk Reqs") || !strings.Contains(out, "Cholesky") {
+		t.Errorf("Table 2 output:\n%s", out)
+	}
+	out = capture(t, func() error { return run("", "9a", "", false, "tiny", 2, "") })
+	if !strings.Contains(out, "Figure 9(a)") {
+		t.Errorf("Figure 9a output:\n%s", out)
+	}
+	out = capture(t, func() error { return run("", "10b", "", false, "tiny", 2, "") })
+	if !strings.Contains(out, "Figure 10(b) 2 processors") || !strings.Contains(out, "T-DRPM-m") {
+		t.Errorf("Figure 10b output:\n%s", out)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	out := capture(t, func() error { return run("", "", "threshold", false, "tiny", 2, "") })
+	if !strings.Contains(out, "threshold  15.2 s") {
+		t.Errorf("threshold ablation output:\n%s", out)
+	}
+	out = capture(t, func() error { return run("", "", "window", false, "tiny", 2, "") })
+	if !strings.Contains(out, "window  100 requests") {
+		t.Errorf("window ablation output:\n%s", out)
+	}
+	out = capture(t, func() error { return run("", "", "stripes", false, "tiny", 2, "") })
+	if !strings.Contains(out, "<== best") {
+		t.Errorf("stripes ablation output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("", "", "", false, "huge", 2, ""); err == nil {
+		t.Error("bad size must fail")
+	}
+	if err := run("", "", "bogus", false, "tiny", 2, ""); err == nil {
+		t.Error("bad ablation must fail")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	path := t.TempDir() + "/out.csv"
+	out := capture(t, func() error { return run("", "9a", "", false, "tiny", 2, path) })
+	if !strings.Contains(out, "wrote CSV results") {
+		t.Errorf("missing CSV confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	// header + 6 apps × (5 versions 1P + 7 versions 2P)
+	if lines != 1+6*5+6*7 {
+		t.Errorf("csv lines = %d", lines)
+	}
+	if strings.Count(string(data), "app,version") != 1 {
+		t.Error("header must appear exactly once")
+	}
+}

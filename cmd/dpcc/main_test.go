@@ -1,0 +1,119 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// resetFlagsAndParse replaces the global flag set and parses os.Args, so a
+// test can hand run() a positional file argument.
+func resetFlagsAndParse() error {
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ContinueOnError)
+	return flag.CommandLine.Parse(os.Args[1:])
+}
+
+const testSrc = `
+array A[4096] elem 4096 stripe(unit=32K, factor=4, start=0)
+array B[4096] elem 4096 stripe(unit=32K, factor=4, start=0)
+nest Fwd { for i = 0 to 4095 { B[i] = A[i]; } }
+nest Bwd { for i = 0 to 4095 { A[i] = B[4095-i]; } }
+`
+
+// withStdio feeds src on stdin and captures stdout of fn.
+func withStdio(t *testing.T, src string, fn func() error) string {
+	t.Helper()
+	inR, inW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldIn, oldOut := os.Stdin, os.Stdout
+	os.Stdin, os.Stdout = inR, outW
+	defer func() { os.Stdin, os.Stdout = oldIn, oldOut }()
+	go func() {
+		inW.WriteString(src)
+		inW.Close()
+	}()
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out strings.Builder
+		for {
+			n, err := outR.Read(buf)
+			out.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- out.String()
+	}()
+	ferr := fn()
+	outW.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+func TestRunFullReport(t *testing.T) {
+	out := withStdio(t, testSrc, func() error {
+		return run(true, true, true, 2)
+	})
+	for _, want := range []string{
+		"program: 2 arrays, 2 nests, 8192 iterations, 4 disks",
+		"original:",
+		"restructured:",
+		"exact dependence graph:",
+		"loop parallelization (procs=2)",
+		"layout-aware (procs=2)",
+		"nest Fwd",
+		"for ss",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBadProgram(t *testing.T) {
+	inR, inW, _ := os.Pipe()
+	oldIn := os.Stdin
+	os.Stdin = inR
+	defer func() { os.Stdin = oldIn }()
+	go func() {
+		inW.WriteString("this is not DRL")
+		inW.Close()
+	}()
+	if err := run(false, false, false, 1); err == nil {
+		t.Error("bad program must fail")
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "*.drl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(testSrc); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Simulate a positional argument by parsing a fresh flag set.
+	oldArgs := os.Args
+	os.Args = []string{"dpcc", f.Name()}
+	defer func() { os.Args = oldArgs }()
+	// run() consults flag.Arg(0); ensure the global flag set sees the file.
+	if err := resetFlagsAndParse(); err != nil {
+		t.Fatal(err)
+	}
+	out := withStdio(t, "", func() error { return run(false, true, false, 1) })
+	if !strings.Contains(out, "8192 iterations") {
+		t.Errorf("output missing stats:\n%s", out)
+	}
+}

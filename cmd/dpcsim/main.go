@@ -1,0 +1,116 @@
+// Command dpcsim is the trace-driven disk power simulator (§7.1): it reads
+// an I/O request trace in the paper's five-field text format (arrival-ms,
+// start block, size, R/W, processor), maps blocks to I/O nodes using the
+// striping parameters, and reports disk energy and I/O time under the
+// selected power-management policy.
+//
+// Usage:
+//
+//	dpcsim -policy tpm [-disks 8] [-unit 32768] [-start 0] [trace.txt]
+//
+// With no file the trace is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"diskreuse/internal/disk"
+	"diskreuse/internal/sim"
+	"diskreuse/internal/trace"
+	"diskreuse/internal/viz"
+)
+
+func main() {
+	var (
+		policy   = flag.String("policy", "none", "power management policy: none, tpm, or drpm")
+		disks    = flag.Int("disks", 8, "number of I/O nodes (stripe factor)")
+		unit     = flag.Int64("unit", 32<<10, "stripe unit in bytes")
+		start    = flag.Int("start", 0, "starting disk")
+		pageSize = flag.Int64("page", 4096, "page size the trace's blocks are numbered in")
+		perDisk  = flag.Bool("perdisk", false, "print per-disk statistics")
+		timeline = flag.Int("timeline", 0, "render an ASCII disk-activity timeline this many columns wide")
+	)
+	flag.Parse()
+	if err := run(*policy, *disks, *unit, *start, *pageSize, *perDisk, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, "dpcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(policy string, disks int, unit int64, start int, pageSize int64, perDisk bool, timeline int) error {
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	reqs, err := trace.Decode(in)
+	if err != nil {
+		return err
+	}
+	var pol sim.Policy
+	switch policy {
+	case "none":
+		pol = sim.NoPM
+	case "tpm", "TPM":
+		pol = sim.TPM
+	case "drpm", "DRPM":
+		pol = sim.DRPM
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+	if unit%pageSize != 0 {
+		return fmt.Errorf("stripe unit %d must be a multiple of the page size %d", unit, pageSize)
+	}
+	pagesPerStripe := unit / pageSize
+	diskOf := func(block int64) (int, error) {
+		if block < 0 {
+			return 0, fmt.Errorf("negative block %d", block)
+		}
+		return start + int((block/pagesPerStripe)%int64(disks-start)), nil
+	}
+	if start >= disks {
+		return fmt.Errorf("starting disk %d outside 0..%d", start, disks-1)
+	}
+	model := disk.Ultrastar36Z15()
+	cfg := sim.Config{
+		Model:    model,
+		NumDisks: disks,
+		Policy:   pol,
+	}
+	var rec *viz.Recorder
+	if timeline > 0 {
+		rec = viz.NewRecorder()
+		cfg.Record = rec.Record
+	}
+	res, err := sim.Run(reqs, diskOf, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("requests:        %d\n", res.Requests)
+	fmt.Printf("policy:          %s\n", res.Policy)
+	fmt.Printf("energy:          %.1f J\n", res.Energy)
+	fmt.Printf("disk I/O time:   %.1f ms\n", res.IOTime*1e3)
+	fmt.Printf("response time:   %.1f ms\n", res.ResponseTime*1e3)
+	fmt.Printf("makespan:        %.3f s\n", res.Makespan)
+	if perDisk {
+		for d, st := range res.PerDisk {
+			fmt.Printf("disk %d: req=%d busy=%.1fs idle=%.1fs standby=%.1fs spinups=%d shifts=%d energy=%.1fJ\n",
+				d, st.Requests, st.Meter.ActiveTime, st.Meter.IdleTime, st.Meter.StandbyTime,
+				st.Meter.SpinUps, st.Meter.SpeedShifts, st.Meter.Total())
+		}
+	}
+	if rec != nil {
+		if err := rec.Render(os.Stdout, timeline, model.RPMMax); err != nil {
+			return err
+		}
+		fmt.Print(rec.Summary())
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// traceText is a small five-field trace: four bursts with a long gap, so
+// TPM has something to spin down for.
+const traceText = `# arrival-ms block size type proc
+0.0 0 4096 R 0
+5.0 1 4096 R 0
+10.0 8 4096 W 0
+50000.0 0 4096 R 0
+50005.0 16 4096 R 0
+`
+
+func withStdio(t *testing.T, src string, fn func() error) string {
+	t.Helper()
+	inR, inW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldIn, oldOut := os.Stdin, os.Stdout
+	os.Stdin, os.Stdout = inR, outW
+	defer func() { os.Stdin, os.Stdout = oldIn, oldOut }()
+	go func() {
+		inW.WriteString(src)
+		inW.Close()
+	}()
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out strings.Builder
+		for {
+			n, err := outR.Read(buf)
+			out.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- out.String()
+	}()
+	ferr := fn()
+	outW.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+func resetFlags(t *testing.T) {
+	t.Helper()
+	oldArgs := os.Args
+	os.Args = []string{"dpcsim"}
+	t.Cleanup(func() { os.Args = oldArgs })
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ContinueOnError)
+	if err := flag.CommandLine.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPolicies(t *testing.T) {
+	for _, pol := range []string{"none", "tpm", "drpm"} {
+		resetFlags(t)
+		out := withStdio(t, traceText, func() error {
+			return run(pol, 4, 32<<10, 0, 4096, true, 60)
+		})
+		for _, want := range []string{"requests:        5", "energy:", "disk I/O time:", "disk 0:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("policy %s output missing %q:\n%s", pol, want, out)
+			}
+		}
+	}
+}
+
+func TestRunTPMSleeps(t *testing.T) {
+	resetFlags(t)
+	out := withStdio(t, traceText, func() error {
+		return run("tpm", 4, 32<<10, 0, 4096, true, 60)
+	})
+	if !strings.Contains(out, "spinups=1") {
+		t.Errorf("expected one spin-up on disk 0:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	resetFlags(t)
+	if err := run("warp", 4, 32<<10, 0, 4096, false, 0); err == nil {
+		t.Error("unknown policy must fail")
+	}
+	if err := run("none", 4, 1000, 0, 4096, false, 0); err == nil {
+		t.Error("unit not multiple of page must fail")
+	}
+	if err := run("none", 4, 32<<10, 9, 4096, false, 0); err == nil {
+		t.Error("start >= disks must fail")
+	}
+	// Malformed trace on stdin.
+	resetFlags(t)
+	inR, inW, _ := os.Pipe()
+	oldIn := os.Stdin
+	os.Stdin = inR
+	defer func() { os.Stdin = oldIn }()
+	go func() {
+		inW.WriteString("not a trace line\n")
+		inW.Close()
+	}()
+	if err := run("none", 4, 32<<10, 0, 4096, false, 0); err == nil {
+		t.Error("bad trace must fail")
+	}
+}

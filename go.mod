@@ -1,0 +1,3 @@
+module diskreuse
+
+go 1.22

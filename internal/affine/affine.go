@@ -1,0 +1,226 @@
+// Package affine provides exact integer affine expressions, vectors, and
+// small number-theoretic helpers used throughout the compiler.
+//
+// An affine expression has the form
+//
+//	c0 + c1*v1 + c2*v2 + ... + cn*vn
+//
+// where the vi are named integer variables (loop iterators or symbolic
+// parameters) and the ci are int64 coefficients. Affine expressions are the
+// common currency between the front-end (loop bounds, array subscripts),
+// the dependence analyzer (distance vectors), and the polyhedral-lite set
+// machinery in package iset.
+package affine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is an immutable-by-convention affine expression. The zero value is
+// the constant 0. Callers must not mutate the Coeffs map of an Expr they did
+// not create; all package operations return fresh expressions.
+type Expr struct {
+	// Const is the constant term c0.
+	Const int64
+	// Coeffs maps variable name to coefficient. Entries with coefficient
+	// zero are never stored.
+	Coeffs map[string]int64
+}
+
+// Const returns the affine expression for the integer constant c.
+func Constant(c int64) Expr { return Expr{Const: c} }
+
+// Var returns the affine expression 1*name.
+func Var(name string) Expr {
+	return Expr{Coeffs: map[string]int64{name: 1}}
+}
+
+// Term returns the affine expression coeff*name.
+func Term(name string, coeff int64) Expr {
+	if coeff == 0 {
+		return Expr{}
+	}
+	return Expr{Coeffs: map[string]int64{name: coeff}}
+}
+
+// Clone returns a deep copy of e.
+func (e Expr) Clone() Expr {
+	out := Expr{Const: e.Const}
+	if len(e.Coeffs) > 0 {
+		out.Coeffs = make(map[string]int64, len(e.Coeffs))
+		for k, v := range e.Coeffs {
+			out.Coeffs[k] = v
+		}
+	}
+	return out
+}
+
+// Coeff returns the coefficient of variable name (0 if absent).
+func (e Expr) Coeff(name string) int64 { return e.Coeffs[name] }
+
+// IsConst reports whether e has no variable terms.
+func (e Expr) IsConst() bool { return len(e.Coeffs) == 0 }
+
+// IsZero reports whether e is identically zero.
+func (e Expr) IsZero() bool { return e.Const == 0 && len(e.Coeffs) == 0 }
+
+// Vars returns the sorted list of variables with nonzero coefficients.
+func (e Expr) Vars() []string {
+	vs := make([]string, 0, len(e.Coeffs))
+	for v := range e.Coeffs {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr {
+	out := e.Clone()
+	out.Const += o.Const
+	for v, c := range o.Coeffs {
+		out.setCoeff(v, out.Coeffs[v]+c)
+	}
+	return out
+}
+
+// Sub returns e - o.
+func (e Expr) Sub(o Expr) Expr { return e.Add(o.Neg()) }
+
+// Neg returns -e.
+func (e Expr) Neg() Expr { return e.Scale(-1) }
+
+// Scale returns k*e.
+func (e Expr) Scale(k int64) Expr {
+	if k == 0 {
+		return Expr{}
+	}
+	out := Expr{Const: e.Const * k}
+	if len(e.Coeffs) > 0 {
+		out.Coeffs = make(map[string]int64, len(e.Coeffs))
+		for v, c := range e.Coeffs {
+			out.Coeffs[v] = c * k
+		}
+	}
+	return out
+}
+
+// AddConst returns e + c.
+func (e Expr) AddConst(c int64) Expr {
+	out := e.Clone()
+	out.Const += c
+	return out
+}
+
+func (e *Expr) setCoeff(v string, c int64) {
+	if c == 0 {
+		delete(e.Coeffs, v)
+		return
+	}
+	if e.Coeffs == nil {
+		e.Coeffs = make(map[string]int64)
+	}
+	e.Coeffs[v] = c
+}
+
+// Subst returns e with variable name replaced by expression repl.
+func (e Expr) Subst(name string, repl Expr) Expr {
+	c, ok := e.Coeffs[name]
+	if !ok {
+		return e.Clone()
+	}
+	out := e.Clone()
+	delete(out.Coeffs, name)
+	return out.Add(repl.Scale(c))
+}
+
+// Eval evaluates e under the variable assignment env. It returns an error
+// if a variable of e is missing from env.
+func (e Expr) Eval(env map[string]int64) (int64, error) {
+	total := e.Const
+	for v, c := range e.Coeffs {
+		val, ok := env[v]
+		if !ok {
+			return 0, fmt.Errorf("affine: unbound variable %q", v)
+		}
+		total += c * val
+	}
+	return total, nil
+}
+
+// MustEval is Eval but panics on unbound variables. It is intended for
+// callers that have already validated the environment.
+func (e Expr) MustEval(env map[string]int64) int64 {
+	v, err := e.Eval(env)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Equal reports whether e and o denote the same affine function.
+func (e Expr) Equal(o Expr) bool {
+	if e.Const != o.Const || len(e.Coeffs) != len(o.Coeffs) {
+		return false
+	}
+	for v, c := range e.Coeffs {
+		if o.Coeffs[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// SameLinearPart reports whether e and o have identical variable
+// coefficients (they may differ in the constant term). Two array references
+// with the same linear part are "uniformly generated" in the dependence
+// literature, which is the case where exact constant distance vectors
+// exist.
+func (e Expr) SameLinearPart(o Expr) bool {
+	if len(e.Coeffs) != len(o.Coeffs) {
+		return false
+	}
+	for v, c := range e.Coeffs {
+		if o.Coeffs[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders e in canonical sorted-variable form, e.g. "2*i + j - 3".
+func (e Expr) String() string {
+	if e.IsConst() {
+		return fmt.Sprintf("%d", e.Const)
+	}
+	var b strings.Builder
+	first := true
+	for _, v := range e.Vars() {
+		c := e.Coeffs[v]
+		switch {
+		case first && c == 1:
+			b.WriteString(v)
+		case first && c == -1:
+			b.WriteString("-" + v)
+		case first:
+			fmt.Fprintf(&b, "%d*%s", c, v)
+		case c == 1:
+			b.WriteString(" + " + v)
+		case c == -1:
+			b.WriteString(" - " + v)
+		case c > 0:
+			fmt.Fprintf(&b, " + %d*%s", c, v)
+		default:
+			fmt.Fprintf(&b, " - %d*%s", -c, v)
+		}
+		first = false
+	}
+	if e.Const > 0 {
+		fmt.Fprintf(&b, " + %d", e.Const)
+	} else if e.Const < 0 {
+		fmt.Fprintf(&b, " - %d", -e.Const)
+	}
+	return b.String()
+}

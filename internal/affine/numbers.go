@@ -1,0 +1,62 @@
+package affine
+
+// GCD returns the greatest common divisor of a and b; GCD(0, 0) == 0.
+// The result is always non-negative.
+func GCD(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// GCDAll returns the gcd of all values (0 for an empty list).
+func GCDAll(vals ...int64) int64 {
+	var g int64
+	for _, v := range vals {
+		g = GCD(g, v)
+	}
+	return g
+}
+
+// GCDTestSolvable implements the classic GCD dependence test: the linear
+// Diophantine equation a1*x1 + ... + an*xn = c has an integer solution iff
+// gcd(a1, ..., an) divides c. With all-zero coefficients the equation is
+// solvable iff c == 0.
+func GCDTestSolvable(coeffs []int64, c int64) bool {
+	g := GCDAll(coeffs...)
+	if g == 0 {
+		return c == 0
+	}
+	return c%g == 0
+}
+
+// FloorDiv returns floor(a/b) for b > 0 (mathematical floor division, which
+// differs from Go's truncated division for negative a).
+func FloorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// CeilDiv returns ceil(a/b) for b != 0.
+func CeilDiv(a, b int64) int64 {
+	return -FloorDiv(-a, b)
+}
+
+// Mod returns the Euclidean remainder a mod b for b > 0; the result is
+// always in [0, b).
+func Mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}

@@ -1,0 +1,175 @@
+package apps
+
+import (
+	"testing"
+
+	"diskreuse/internal/core"
+	"diskreuse/internal/interp"
+	"diskreuse/internal/par"
+	"diskreuse/internal/trace"
+)
+
+func TestSuiteCompilesAndValidates(t *testing.T) {
+	for _, size := range []Size{Tiny, Default} {
+		for _, a := range Suite(size) {
+			p, err := a.Compile()
+			if err != nil {
+				t.Fatalf("%s (size %d): %v", a.Name, size, err)
+			}
+			s, err := interp.BuildSpace(p)
+			if err != nil {
+				t.Fatalf("%s: %v", a.Name, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s: %v\nsource:\n%s", a.Name, err, a.Source)
+			}
+			if a.ComputePerIter <= 0 {
+				t.Errorf("%s: ComputePerIter not set", a.Name)
+			}
+			if p.NumDisks() != 8 {
+				t.Errorf("%s: disks = %d, want 8 (Table 1)", a.Name, p.NumDisks())
+			}
+		}
+	}
+}
+
+func TestSuiteOrderAndNames(t *testing.T) {
+	want := []string{"AST", "FFT", "Cholesky", "Visuo", "SCF", "RSense"}
+	suite := Suite(Tiny)
+	if len(suite) != len(want) {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("app %d = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Description == "" {
+			t.Errorf("%s: empty description", a.Name)
+		}
+	}
+	if _, err := ByName("fft", Tiny); err != nil {
+		t.Errorf("ByName case-insensitive lookup failed: %v", err)
+	}
+	if _, err := ByName("nope", Tiny); err == nil {
+		t.Error("unknown app must fail")
+	}
+}
+
+// Every app must be schedulable (legal disk-reuse schedule) at Tiny scale.
+func TestSuiteRestructurable(t *testing.T) {
+	for _, a := range Suite(Tiny) {
+		p, err := a.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.New(p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		s, err := r.DiskReuseSchedule()
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if err := r.Verify(s); err != nil {
+			t.Fatalf("%s: illegal schedule: %v", a.Name, err)
+		}
+	}
+}
+
+// The multiprocessor experiments need most apps to have parallel nests.
+func TestSuiteParallelizability(t *testing.T) {
+	parallelNests := map[string]int{}
+	totalNests := map[string]int{}
+	for _, a := range Suite(Tiny) {
+		p, err := a.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.New(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asg, err := par.LoopParallelize(r, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := asg.CheckIntraNest(r); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		for _, lvl := range asg.ParallelLevel {
+			totalNests[a.Name]++
+			if lvl >= 0 {
+				parallelNests[a.Name]++
+			}
+		}
+	}
+	// Stencil, FFT, Visuo, SCF, RSense should parallelize all nests;
+	// Cholesky's panel nests stay sequential but its update nests must
+	// parallelize.
+	for _, name := range []string{"AST", "FFT", "Visuo", "SCF", "RSense"} {
+		if parallelNests[name] != totalNests[name] {
+			t.Errorf("%s: %d of %d nests parallel", name, parallelNests[name], totalNests[name])
+		}
+	}
+	if parallelNests["Cholesky"] == 0 {
+		t.Errorf("Cholesky: no parallel nests (total %d)", totalNests["Cholesky"])
+	}
+}
+
+// Trace generation must work end to end for every app, and restructuring
+// must reduce disk interleaving.
+func TestSuiteTraceGeneration(t *testing.T) {
+	for _, a := range Suite(Tiny) {
+		p, err := a.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.New(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, err := trace.Generate(r, trace.SinglePhase(r.OriginalSchedule()), trace.GenConfig{ComputePerIter: a.ComputePerIter})
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if len(orig) == 0 {
+			t.Fatalf("%s: empty trace", a.Name)
+		}
+		rs, err := r.DiskReuseSchedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restr, err := trace.Generate(r, trace.SinglePhase(rs), trace.GenConfig{ComputePerIter: a.ComputePerIter})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same pages are touched either way; request counts can differ
+		// slightly because cache behavior depends on order, but not wildly.
+		ratio := float64(len(restr)) / float64(len(orig))
+		if ratio < 0.3 || ratio > 3 {
+			t.Errorf("%s: request count changed wildly under restructuring: %d vs %d",
+				a.Name, len(restr), len(orig))
+		}
+	}
+}
+
+// Default-size iteration spaces stay within the scheduler's comfort zone.
+func TestDefaultSizesAreTractable(t *testing.T) {
+	for _, a := range Suite(Default) {
+		p, err := a.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := interp.BuildSpace(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := s.NumIterations()
+		if n < 2000 {
+			t.Errorf("%s: only %d iterations — too small to be representative", a.Name, n)
+		}
+		if n > 2_000_000 {
+			t.Errorf("%s: %d iterations — scheduling would be too slow", a.Name, n)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package ast defines the abstract syntax tree for DRL programs.
+//
+// DRL is deliberately restricted to the program class the paper targets
+// (§1, §5): nests of counted for-loops over disk-resident arrays, with
+// affine loop bounds and affine array subscripts, and no conditional
+// control flow. Because every expression position is affine, the AST stores
+// subscripts and bounds directly as affine.Expr values over iterator and
+// parameter names.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"diskreuse/internal/affine"
+	"diskreuse/internal/scan"
+)
+
+// Program is a parsed DRL compilation unit.
+type Program struct {
+	Params []*Param
+	Arrays []*Array
+	Nests  []*Nest
+}
+
+// Param is a symbolic integer constant declaration: "param N = 1024".
+type Param struct {
+	Name  string
+	Value int64
+	Pos   scan.Pos
+}
+
+// StripeSpec is the I/O-node-level striping clause of an array declaration
+// (stripe unit in bytes, number of I/O nodes, starting I/O node), matching
+// the layout parameters of §2 and Table 1 of the paper.
+type StripeSpec struct {
+	Unit   int64 // stripe unit in bytes
+	Factor int   // number of disks (I/O nodes) the array is striped over
+	Start  int   // first disk used for striping
+}
+
+func (s StripeSpec) String() string {
+	return fmt.Sprintf("stripe(unit=%d, factor=%d, start=%d)", s.Unit, s.Factor, s.Start)
+}
+
+// Array declares a disk-resident array. Dims are extent expressions, affine
+// in declared parameters only. ElemSize is the element size in bytes
+// (default 8). The one-array-per-file assumption of §2 is built in: each
+// array owns exactly one file.
+type Array struct {
+	Name     string
+	Dims     []affine.Expr
+	ElemSize int64
+	Stripe   *StripeSpec // nil means "use the compilation default layout"
+	File     string      // backing file name; defaults to Name + ".dat"
+	Pos      scan.Pos
+}
+
+// Nest is a named top-level loop nest.
+type Nest struct {
+	Name string
+	Loop *Loop
+	Pos  scan.Pos
+}
+
+// Stmt is a statement inside a loop body: another Loop, an Assign, or a
+// ReadStmt.
+type Stmt interface {
+	stmtNode()
+	emit(b *strings.Builder, indent int)
+}
+
+// Loop is a counted for-loop with inclusive bounds: for V = Lo to Hi step
+// Step. Bounds are affine in enclosing iterators and parameters; Step is a
+// positive integer constant.
+type Loop struct {
+	Var  string
+	Lo   affine.Expr
+	Hi   affine.Expr
+	Step int64
+	Body []Stmt
+	Pos  scan.Pos
+}
+
+// Assign is "ref = expr;" where expr is an affine combination of array
+// references; the LHS is written, each RHS reference is read.
+type Assign struct {
+	LHS *Ref
+	RHS []*Ref // references read by the right-hand side, in source order
+	Pos scan.Pos
+}
+
+// ReadStmt is "read ref;", an explicit read-only touch of an array element
+// (used by workloads that consume data without producing any).
+type ReadStmt struct {
+	Ref *Ref
+	Pos scan.Pos
+}
+
+func (*Loop) stmtNode()     {}
+func (*Assign) stmtNode()   {}
+func (*ReadStmt) stmtNode() {}
+
+// Ref is an array reference U[e1][e2]...[ek] with affine subscripts.
+type Ref struct {
+	Array string
+	Subs  []affine.Expr
+	Pos   scan.Pos
+}
+
+func (r *Ref) String() string {
+	var b strings.Builder
+	b.WriteString(r.Array)
+	for _, s := range r.Subs {
+		fmt.Fprintf(&b, "[%s]", s)
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of r.
+func (r *Ref) Clone() *Ref {
+	subs := make([]affine.Expr, len(r.Subs))
+	for i, s := range r.Subs {
+		subs[i] = s.Clone()
+	}
+	return &Ref{Array: r.Array, Subs: subs, Pos: r.Pos}
+}
+
+// Refs returns all references of a statement: the written reference (or nil)
+// first, then the read references.
+func Refs(s Stmt) (write *Ref, reads []*Ref) {
+	switch st := s.(type) {
+	case *Assign:
+		return st.LHS, st.RHS
+	case *ReadStmt:
+		return nil, []*Ref{st.Ref}
+	}
+	return nil, nil
+}
+
+// Depth returns the nesting depth of the loop (number of loop levels along
+// the leftmost chain). DRL nests are perfect or near-perfect; statements may
+// appear at any level.
+func (l *Loop) Depth() int {
+	d := 1
+	for _, s := range l.Body {
+		if inner, ok := s.(*Loop); ok {
+			if id := inner.Depth() + 1; id > d {
+				d = id
+			}
+		}
+	}
+	return d
+}
+
+// Iterators returns the loop variables along the leftmost loop chain, from
+// outermost to innermost.
+func (l *Loop) Iterators() []string {
+	vars := []string{l.Var}
+	for _, s := range l.Body {
+		if inner, ok := s.(*Loop); ok {
+			return append(vars, inner.Iterators()...)
+		}
+	}
+	return vars
+}
+
+// Walk calls fn for every statement in the nest, in source order, including
+// nested loops (pre-order).
+func (l *Loop) Walk(fn func(Stmt)) {
+	for _, s := range l.Body {
+		fn(s)
+		if inner, ok := s.(*Loop); ok {
+			inner.Walk(fn)
+		}
+	}
+}
+
+// ArrayNames returns the names of all arrays referenced in the nest, in
+// first-use order.
+func (n *Nest) ArrayNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	add := func(r *Ref) {
+		if r != nil && !seen[r.Array] {
+			seen[r.Array] = true
+			names = append(names, r.Array)
+		}
+	}
+	n.Loop.Walk(func(s Stmt) {
+		w, rs := Refs(s)
+		add(w)
+		for _, r := range rs {
+			add(r)
+		}
+	})
+	return names
+}
+
+// LookupArray returns the declaration of the named array, or nil.
+func (p *Program) LookupArray(name string) *Array {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// LookupParam returns the declared value of a parameter.
+func (p *Program) LookupParam(name string) (int64, bool) {
+	for _, pr := range p.Params {
+		if pr.Name == name {
+			return pr.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParamEnv returns the parameter environment of the program.
+func (p *Program) ParamEnv() map[string]int64 {
+	env := make(map[string]int64, len(p.Params))
+	for _, pr := range p.Params {
+		env[pr.Name] = pr.Value
+	}
+	return env
+}

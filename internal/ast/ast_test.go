@@ -1,0 +1,172 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"diskreuse/internal/affine"
+)
+
+func sampleProgram() *Program {
+	u := &Array{
+		Name:     "U",
+		Dims:     []affine.Expr{affine.Constant(8), affine.Constant(8)},
+		ElemSize: 8,
+		File:     "U.dat",
+		Stripe:   &StripeSpec{Unit: 4096, Factor: 2, Start: 0},
+	}
+	v := &Array{
+		Name:     "V",
+		Dims:     []affine.Expr{affine.Constant(8)},
+		ElemSize: 4,
+		File:     "custom.bin",
+	}
+	inner := &Loop{
+		Var: "j", Lo: affine.Constant(0), Hi: affine.Constant(7), Step: 1,
+		Body: []Stmt{
+			&Assign{
+				LHS: &Ref{Array: "U", Subs: []affine.Expr{affine.Var("i"), affine.Var("j")}},
+				RHS: []*Ref{{Array: "V", Subs: []affine.Expr{affine.Var("j")}}},
+			},
+			&ReadStmt{Ref: &Ref{Array: "V", Subs: []affine.Expr{affine.Var("i")}}},
+		},
+	}
+	outer := &Loop{
+		Var: "i", Lo: affine.Constant(0), Hi: affine.Constant(7), Step: 2,
+		Body: []Stmt{inner},
+	}
+	return &Program{
+		Params: []*Param{{Name: "N", Value: 8}},
+		Arrays: []*Array{u, v},
+		Nests:  []*Nest{{Name: "L", Loop: outer}},
+	}
+}
+
+func TestLoopDepthAndIterators(t *testing.T) {
+	p := sampleProgram()
+	l := p.Nests[0].Loop
+	if l.Depth() != 2 {
+		t.Errorf("Depth = %d", l.Depth())
+	}
+	its := l.Iterators()
+	if len(its) != 2 || its[0] != "i" || its[1] != "j" {
+		t.Errorf("Iterators = %v", its)
+	}
+	// A single-level loop.
+	leaf := &Loop{Var: "k", Body: []Stmt{&ReadStmt{Ref: &Ref{Array: "V", Subs: []affine.Expr{affine.Var("k")}}}}}
+	if leaf.Depth() != 1 || len(leaf.Iterators()) != 1 {
+		t.Error("leaf loop depth/iterators wrong")
+	}
+}
+
+func TestWalkVisitsAllStatements(t *testing.T) {
+	p := sampleProgram()
+	var kinds []string
+	p.Nests[0].Loop.Walk(func(s Stmt) {
+		switch s.(type) {
+		case *Loop:
+			kinds = append(kinds, "loop")
+		case *Assign:
+			kinds = append(kinds, "assign")
+		case *ReadStmt:
+			kinds = append(kinds, "read")
+		}
+	})
+	want := []string{"loop", "assign", "read"}
+	if len(kinds) != len(want) {
+		t.Fatalf("walked %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("walked %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestRefsHelper(t *testing.T) {
+	p := sampleProgram()
+	inner := p.Nests[0].Loop.Body[0].(*Loop)
+	w, rs := Refs(inner.Body[0])
+	if w == nil || w.Array != "U" || len(rs) != 1 || rs[0].Array != "V" {
+		t.Errorf("Refs(assign) = %v, %v", w, rs)
+	}
+	w, rs = Refs(inner.Body[1])
+	if w != nil || len(rs) != 1 {
+		t.Errorf("Refs(read) = %v, %v", w, rs)
+	}
+	w, rs = Refs(inner)
+	if w != nil || rs != nil {
+		t.Errorf("Refs(loop) = %v, %v", w, rs)
+	}
+}
+
+func TestArrayNamesFirstUseOrder(t *testing.T) {
+	p := sampleProgram()
+	names := p.Nests[0].ArrayNames()
+	if len(names) != 2 || names[0] != "U" || names[1] != "V" {
+		t.Errorf("ArrayNames = %v", names)
+	}
+}
+
+func TestLookupHelpers(t *testing.T) {
+	p := sampleProgram()
+	if p.LookupArray("U") == nil || p.LookupArray("Z") != nil {
+		t.Error("LookupArray wrong")
+	}
+	if v, ok := p.LookupParam("N"); !ok || v != 8 {
+		t.Errorf("LookupParam = %d, %v", v, ok)
+	}
+	if _, ok := p.LookupParam("M"); ok {
+		t.Error("missing param should not resolve")
+	}
+	env := p.ParamEnv()
+	if env["N"] != 8 || len(env) != 1 {
+		t.Errorf("ParamEnv = %v", env)
+	}
+}
+
+func TestRefCloneIsDeep(t *testing.T) {
+	r := &Ref{Array: "U", Subs: []affine.Expr{affine.Var("i")}}
+	c := r.Clone()
+	c.Subs[0] = affine.Constant(99)
+	if r.Subs[0].Equal(c.Subs[0]) {
+		t.Error("Clone must not share subscripts")
+	}
+	if r.String() != "U[i]" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := sampleProgram()
+	out := p.String()
+	for _, want := range []string{
+		"param N = 8",
+		"array U[8][8] stripe(unit=4096, factor=2, start=0)",
+		`array V[8] elem 4 file "custom.bin"`,
+		"nest L {",
+		"for i = 0 to 7 step 2 {",
+		"U[i][j] = V[j];",
+		"read V[i];",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyAssignRHSPrintsZero(t *testing.T) {
+	a := &Assign{LHS: &Ref{Array: "U", Subs: []affine.Expr{affine.Constant(0)}}}
+	var b strings.Builder
+	a.emit(&b, 0)
+	if !strings.Contains(b.String(), "U[0] = 0;") {
+		t.Errorf("emit = %q", b.String())
+	}
+}
+
+func TestStripeSpecString(t *testing.T) {
+	s := StripeSpec{Unit: 32768, Factor: 8, Start: 1}
+	if got := s.String(); got != "stripe(unit=32768, factor=8, start=1)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,81 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program back to DRL source form. The output reparses
+// to an equivalent program, which the parser round-trip test relies on.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, pr := range p.Params {
+		fmt.Fprintf(&b, "param %s = %d\n", pr.Name, pr.Value)
+	}
+	if len(p.Params) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, a := range p.Arrays {
+		fmt.Fprintf(&b, "array %s", a.Name)
+		for _, d := range a.Dims {
+			fmt.Fprintf(&b, "[%s]", d)
+		}
+		if a.ElemSize != 8 {
+			fmt.Fprintf(&b, " elem %d", a.ElemSize)
+		}
+		if a.Stripe != nil {
+			fmt.Fprintf(&b, " %s", a.Stripe)
+		}
+		if a.File != "" && a.File != a.Name+".dat" {
+			fmt.Fprintf(&b, " file %q", a.File)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range p.Nests {
+		fmt.Fprintf(&b, "\nnest %s {\n", n.Name)
+		n.Loop.emit(&b, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func writeIndent(b *strings.Builder, indent int) {
+	for i := 0; i < indent; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func (l *Loop) emit(b *strings.Builder, indent int) {
+	writeIndent(b, indent)
+	fmt.Fprintf(b, "for %s = %s to %s", l.Var, l.Lo, l.Hi)
+	if l.Step != 1 {
+		fmt.Fprintf(b, " step %d", l.Step)
+	}
+	b.WriteString(" {\n")
+	for _, s := range l.Body {
+		s.emit(b, indent+1)
+	}
+	writeIndent(b, indent)
+	b.WriteString("}\n")
+}
+
+func (a *Assign) emit(b *strings.Builder, indent int) {
+	writeIndent(b, indent)
+	b.WriteString(a.LHS.String())
+	b.WriteString(" = ")
+	if len(a.RHS) == 0 {
+		b.WriteString("0")
+	}
+	for i, r := range a.RHS {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		b.WriteString(r.String())
+	}
+	b.WriteString(";\n")
+}
+
+func (r *ReadStmt) emit(b *strings.Builder, indent int) {
+	writeIndent(b, indent)
+	fmt.Fprintf(b, "read %s;\n", r.Ref)
+}

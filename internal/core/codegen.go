@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"diskreuse/internal/affine"
+	"diskreuse/internal/iset"
+	"diskreuse/internal/sema"
+)
+
+// stripeVar is the generated stripe-loop iterator, named to avoid colliding
+// with user iterators (DRL identifiers are user-chosen, but the paper's
+// generated code uses the same convention; collisions are detected below).
+const stripeVar = "ss"
+
+// primaryRef returns the reference that determines an iteration's primary
+// disk: the first read of the first statement, or its write if the
+// statement reads nothing. This matches the access order the Restructurer
+// uses for disk attribution.
+func primaryRef(n *sema.Nest) *sema.Ref {
+	st := n.Stmts[0]
+	if len(st.Reads) > 0 {
+		return st.Reads[0]
+	}
+	return st.Write
+}
+
+// linExpr builds the affine expression for the row-major linear element
+// index of ref as a function of the nest iterators.
+func linExpr(ref *sema.Ref) affine.Expr {
+	dims := ref.Array.Dims
+	strides := make([]int64, len(dims))
+	st := int64(1)
+	for k := len(dims) - 1; k >= 0; k-- {
+		strides[k] = st
+		st *= dims[k]
+	}
+	e := affine.Constant(0)
+	for k, sub := range ref.Subs {
+		e = e.Add(sub.Scale(strides[k]))
+	}
+	return e
+}
+
+// CodegenNestOnDisk generates the loop nest that enumerates Q_{d} for one
+// source nest: the iterations whose primary reference touches disk d,
+// expressed as an outer stripe loop (step = stripe factor) around the
+// original iterators with tightened bounds — the Fig. 2(c) shape the paper
+// obtains from Omega's codegen. It returns (nil, nil) when the nest's
+// primary array has no data on disk d.
+func (r *Restructurer) CodegenNestOnDisk(n *sema.Nest, d int) (*iset.GenLoop, error) {
+	ref := primaryRef(n)
+	arr := ref.Array
+	s := arr.Stripe
+	rel := d - s.Start
+	if rel < 0 || rel >= s.Factor {
+		return nil, nil
+	}
+	for _, l := range n.Loops {
+		if l.Step != 1 {
+			return nil, fmt.Errorf("core: codegen requires unit-step loops (nest %s, loop %s)", n.Name, l.Var)
+		}
+		if l.Var == stripeVar {
+			return nil, fmt.Errorf("core: nest %s uses reserved iterator %q", n.Name, stripeVar)
+		}
+	}
+	eps := s.Unit / arr.ElemSize // elements per stripe
+	numStripes := (arr.Bytes() + s.Unit - 1) / s.Unit
+	if int64(rel) >= numStripes {
+		return nil, nil
+	}
+
+	vars := append([]string{stripeVar}, n.Iterators()...)
+	dom := iset.NewDomain(vars...)
+	if err := dom.AddRange(stripeVar, affine.Constant(0), affine.Constant(numStripes-1)); err != nil {
+		return nil, err
+	}
+	for _, l := range n.Loops {
+		if err := dom.AddRange(l.Var, l.Lo, l.Hi); err != nil {
+			return nil, err
+		}
+	}
+	// eps*ss <= lin(ref) <= eps*ss + eps - 1
+	lin := linExpr(ref)
+	sTerm := affine.Term(stripeVar, eps)
+	if err := dom.AddGE(lin.Sub(sTerm)); err != nil {
+		return nil, err
+	}
+	if err := dom.AddGE(sTerm.AddConst(eps - 1).Sub(lin)); err != nil {
+		return nil, err
+	}
+	g, err := iset.Codegen(dom)
+	if err != nil {
+		return nil, err
+	}
+	g.Step = int64(s.Factor)
+	g.Offset = int64(rel)
+	return g, nil
+}
+
+// RestructuredPseudoCode renders the per-disk generated loop nests for the
+// whole program: for each disk in turn, the loops enumerating each nest's
+// iterations on that disk. This is the display form of the ideal (fully
+// dependence-free) restructuring; the authoritative execution order in the
+// presence of dependences is DiskReuseSchedule.
+func (r *Restructurer) RestructuredPseudoCode() (string, error) {
+	var b strings.Builder
+	for d := 0; d < r.Layout.NumDisks(); d++ {
+		fmt.Fprintf(&b, "// ---- iterations accessing disk%d ----\n", d)
+		any := false
+		for _, n := range r.Prog.Nests {
+			g, err := r.CodegenNestOnDisk(n, d)
+			if err != nil {
+				return "", err
+			}
+			if g == nil {
+				continue
+			}
+			any = true
+			fmt.Fprintf(&b, "// from nest %s:\n", n.Name)
+			b.WriteString(g.String())
+		}
+		if !any {
+			b.WriteString("// (no data on this disk)\n")
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,280 @@
+// Package core implements the paper's primary contribution: compiler-
+// directed code restructuring that maximizes disk reuse (§5). Given the
+// disk layout of the arrays and the exact iteration-level dependence graph,
+// it reorders the union of all loop iterations so that accesses to each
+// disk (I/O node) are clustered: all schedulable iterations touching disk 0
+// run first, then disk 1, and so on, revisiting disks only when data
+// dependences force it — the algorithm of Fig. 3, generalized from the
+// paper's pseudo-code to arbitrary dependence structures.
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"diskreuse/internal/interp"
+	"diskreuse/internal/layout"
+	"diskreuse/internal/sema"
+)
+
+// Schedule is an execution order over the global iteration ids of a Space.
+type Schedule struct {
+	// Order lists global iteration ids in execution order.
+	Order []int
+	// Disk[k] is the primary disk of Order[k] (the disk whose cluster the
+	// iteration was scheduled under).
+	Disk []int
+	// Space is the iteration space the schedule orders.
+	Space *interp.Space
+}
+
+// Len returns the number of scheduled iterations.
+func (s *Schedule) Len() int { return len(s.Order) }
+
+// Restructurer prepares a program for disk-reuse scheduling: it enumerates
+// the iteration space, builds the exact dependence graph, and attributes
+// every iteration to its primary disk.
+type Restructurer struct {
+	Prog   *sema.Program
+	Layout *layout.Layout
+	Space  *interp.Space
+	Graph  *interp.DepGraph
+
+	// primary[id] is the iteration's primary disk: the disk holding the
+	// element of its first (lexical) reference, per the paper's convention
+	// that an iteration touching several disks is clustered by one of them.
+	primary []int
+	// touched[id] lists every distinct disk the iteration accesses.
+	touched [][]int8
+}
+
+// New builds a Restructurer for prog with the given layout. The layout may
+// be nil, in which case a fresh one with the default page size is built.
+func New(prog *sema.Program, l *layout.Layout) (*Restructurer, error) {
+	var err error
+	if l == nil {
+		l, err = layout.New(prog, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	space, err := interp.BuildSpace(prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Restructurer{
+		Prog:   prog,
+		Layout: l,
+		Space:  space,
+		Graph:  space.BuildDeps(),
+	}
+	if err := r.attributeDisks(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Restructurer) attributeDisks() error {
+	n := r.Space.NumIterations()
+	r.primary = make([]int, n)
+	r.touched = make([][]int8, n)
+	var buf []interp.Access
+	for id := 0; id < n; id++ {
+		buf = r.Space.Accesses(id, buf[:0])
+		if len(buf) == 0 {
+			return fmt.Errorf("core: iteration %v performs no accesses", r.Space.Iters[id])
+		}
+		var disks []int8
+		for k, a := range buf {
+			d, err := r.Layout.ElemDisk(a.Array, a.Lin)
+			if err != nil {
+				return err
+			}
+			if k == 0 {
+				r.primary[id] = d
+			}
+			found := false
+			for _, x := range disks {
+				if x == int8(d) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				disks = append(disks, int8(d))
+			}
+		}
+		r.touched[id] = disks
+	}
+	return nil
+}
+
+// PrimaryDisk returns the primary disk of global iteration id.
+func (r *Restructurer) PrimaryDisk(id int) int { return r.primary[id] }
+
+// TouchedDisks returns every disk the iteration accesses.
+func (r *Restructurer) TouchedDisks(id int) []int8 { return r.touched[id] }
+
+// OriginalSchedule returns the untransformed program-order schedule, the
+// baseline every experiment normalizes against.
+func (r *Restructurer) OriginalSchedule() *Schedule {
+	n := r.Space.NumIterations()
+	s := &Schedule{
+		Order: make([]int, n),
+		Disk:  make([]int, n),
+		Space: r.Space,
+	}
+	for i := 0; i < n; i++ {
+		s.Order[i] = i
+		s.Disk[i] = r.primary[i]
+	}
+	return s
+}
+
+// idHeap is a min-heap of iteration ids (original program order), used as
+// the per-disk ready queue.
+type idHeap []int
+
+func (h idHeap) Len() int            { return len(h) }
+func (h idHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h idHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *idHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *idHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// DiskReuseSchedule computes the restructured execution order of Fig. 3:
+//
+//	Q = all iterations; d = 0
+//	while Q not empty:
+//	    Q_d = all iterations in Q that access disk d and whose
+//	          dependences are already satisfied (including transitively
+//	          by earlier members of Q_d)
+//	    schedule Q_d in original order; Q -= Q_d
+//	    d = (d+1) mod D
+//
+// The implementation drains a per-disk ready queue: while processing disk
+// d, iterations that become ready and belong to d are scheduled in the same
+// visit, maximizing cluster length; iterations becoming ready for other
+// disks wait for their disk's turn. With no dependences every disk is
+// visited exactly once (perfect disk reuse); with dependences disks are
+// revisited only as the while-loop of Fig. 3 requires.
+func (r *Restructurer) DiskReuseSchedule() (*Schedule, error) {
+	return r.scheduleSubset(nil)
+}
+
+// scheduleSubset runs the Fig. 3 scheduler over a subset of iterations
+// (nil means all). Dependence edges with both endpoints in the subset are
+// enforced; edges entering the subset from outside are assumed satisfied
+// (the caller is responsible for inter-subset ordering, e.g. barriers).
+func (r *Restructurer) scheduleSubset(subset []int) (*Schedule, error) {
+	n := r.Space.NumIterations()
+	inSubset := make([]bool, n)
+	var members []int
+	if subset == nil {
+		members = make([]int, n)
+		for i := range members {
+			members[i] = i
+			inSubset[i] = true
+		}
+	} else {
+		members = subset
+		for _, id := range subset {
+			if id < 0 || id >= n {
+				return nil, fmt.Errorf("core: subset id %d out of range", id)
+			}
+			if inSubset[id] {
+				return nil, fmt.Errorf("core: subset id %d duplicated", id)
+			}
+			inSubset[id] = true
+		}
+	}
+	order, disks, err := scheduleFig3(r.Layout.NumDisks(), members, inSubset,
+		r.primary, r.Graph.Preds, r.Graph.Succs)
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{Order: order, Disk: disks, Space: r.Space}, nil
+}
+
+// scheduleFig3 is the algorithm of the paper's Fig. 3, generalized to an
+// arbitrary dependence DAG: starting from disk 0, schedule every ready
+// iteration whose primary disk is the current one (in original program
+// order, admitting iterations that become ready during the same visit),
+// then move to the next disk, cycling until all iterations are scheduled.
+// Edges with an endpoint outside the member set are ignored.
+func scheduleFig3(numDisks int, members []int, inSet []bool,
+	primary []int, preds, succs [][]int32) (order, disks []int, err error) {
+
+	indeg := make([]int, len(inSet))
+	for _, id := range members {
+		for _, p := range preds[id] {
+			if inSet[p] {
+				indeg[id]++
+			}
+		}
+	}
+	queues := make([]idHeap, numDisks)
+	pending := 0
+	for _, id := range members {
+		if indeg[id] == 0 {
+			heap.Push(&queues[primary[id]], id)
+		}
+		pending++
+	}
+
+	order = make([]int, 0, len(members))
+	disks = make([]int, 0, len(members))
+	d := 0
+	idleRounds := 0
+	for pending > 0 {
+		if queues[d].Len() == 0 {
+			d = (d + 1) % numDisks
+			idleRounds++
+			if idleRounds > numDisks {
+				// A full cycle with nothing ready means a dependence from
+				// outside the set was never satisfied — a cycle cannot
+				// exist because edges point forward in program order.
+				return nil, nil, fmt.Errorf("core: scheduling stuck with %d iterations pending (cross-subset dependence?)", pending)
+			}
+			continue
+		}
+		idleRounds = 0
+		for queues[d].Len() > 0 {
+			id := heap.Pop(&queues[d]).(int)
+			order = append(order, id)
+			disks = append(disks, d)
+			pending--
+			for _, v := range succs[id] {
+				if !inSet[v] {
+					continue
+				}
+				indeg[v]--
+				if indeg[v] == 0 {
+					heap.Push(&queues[primary[v]], int(v))
+				}
+			}
+		}
+		d = (d + 1) % numDisks
+	}
+	return order, disks, nil
+}
+
+// ScheduleFor runs disk-reuse scheduling over an explicit iteration subset
+// (used by the multiprocessor path to restructure each processor's assigned
+// iterations separately, §6.2).
+func (r *Restructurer) ScheduleFor(subset []int) (*Schedule, error) {
+	return r.scheduleSubset(subset)
+}
+
+// Verify checks the schedule against the exact dependence graph.
+func (r *Restructurer) Verify(s *Schedule) error {
+	return r.Space.VerifySchedule(r.Graph, s.Order)
+}

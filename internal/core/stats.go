@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ReuseStats summarizes how well a schedule clusters disk accesses — the
+// quantity the restructuring maximizes. A "run" is a maximal contiguous
+// span of the schedule whose iterations share a primary disk; fewer, longer
+// runs mean longer idle periods for the disks not being visited.
+type ReuseStats struct {
+	Iterations int
+	NumDisks   int
+	// Runs is the number of maximal same-disk spans in the schedule.
+	Runs int
+	// Switches is Runs-1: how many times the active disk changes.
+	Switches int
+	// AvgRunLen is Iterations/Runs.
+	AvgRunLen float64
+	// DiskVisits[d] counts the runs that visit disk d. Perfect disk reuse
+	// (the ideal of §5) visits each used disk exactly once.
+	DiskVisits []int
+	// PerfectReuse is true when every used disk is visited at most once.
+	PerfectReuse bool
+}
+
+// Stats computes clustering statistics for a schedule produced by a
+// Restructurer with numDisks disks.
+func Stats(s *Schedule, numDisks int) ReuseStats {
+	st := ReuseStats{
+		Iterations: len(s.Order),
+		NumDisks:   numDisks,
+		DiskVisits: make([]int, numDisks),
+	}
+	prev := -1
+	for i := range s.Order {
+		d := s.Disk[i]
+		if d != prev {
+			st.Runs++
+			if d >= 0 && d < numDisks {
+				st.DiskVisits[d]++
+			}
+			prev = d
+		}
+	}
+	if st.Runs > 0 {
+		st.Switches = st.Runs - 1
+		st.AvgRunLen = float64(st.Iterations) / float64(st.Runs)
+	}
+	st.PerfectReuse = true
+	for _, v := range st.DiskVisits {
+		if v > 1 {
+			st.PerfectReuse = false
+			break
+		}
+	}
+	return st
+}
+
+func (st ReuseStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "iterations=%d disks=%d runs=%d switches=%d avg_run=%.1f perfect=%v visits=%v",
+		st.Iterations, st.NumDisks, st.Runs, st.Switches, st.AvgRunLen, st.PerfectReuse, st.DiskVisits)
+	return b.String()
+}

@@ -1,0 +1,383 @@
+package dep
+
+import (
+	"testing"
+
+	"diskreuse/internal/affine"
+	"diskreuse/internal/parser"
+	"diskreuse/internal/sema"
+)
+
+func analyze(t *testing.T, src string) *sema.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sema.Analyze(prog, sema.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func nestOf(t *testing.T, src string) *sema.Nest {
+	t.Helper()
+	return analyze(t, src).Nests[0]
+}
+
+func TestFlowDependenceDistanceOne(t *testing.T) {
+	// A[i] = A[i-1]: flow dependence with distance (1).
+	n := nestOf(t, `
+array A[100]
+nest L { for i = 1 to 99 { A[i] = A[i-1]; } }
+`)
+	deps := AnalyzeNest(n)
+	var flow []Dependence
+	for _, d := range deps {
+		if d.Kind == Flow && !d.Distance.IsZero() {
+			flow = append(flow, d)
+		}
+	}
+	if len(flow) != 1 {
+		t.Fatalf("flow deps = %v", deps)
+	}
+	d := flow[0]
+	if !d.Exact || !d.Distance.Equal(affine.NewVector(1)) {
+		t.Errorf("distance = %v exact=%v", d.Distance, d.Exact)
+	}
+	if d.Array.Name != "A" {
+		t.Errorf("array = %s", d.Array.Name)
+	}
+}
+
+func TestStencil2DDistances(t *testing.T) {
+	// A[i][j] = A[i-1][j] + A[i][j-1]: distances (1,0) and (0,1).
+	n := nestOf(t, `
+array A[64][64]
+nest L {
+  for i = 1 to 63 {
+    for j = 1 to 63 {
+      A[i][j] = A[i-1][j] + A[i][j-1];
+    }
+  }
+}
+`)
+	m, allExact := DistanceMatrix(n)
+	if !allExact {
+		t.Fatal("should be exact")
+	}
+	want := map[string]bool{"(1, 0)": false, "(0, 1)": false}
+	for _, v := range m {
+		if _, ok := want[v.String()]; ok {
+			want[v.String()] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("missing distance %s in %v", k, m)
+		}
+	}
+	// Neither loop is parallelizable... actually loop 1 (j) IS
+	// parallelizable w.r.t. (1,0) via the lex-positive prefix, but (0,1)
+	// has d[1]=1 with zero prefix, so no loop is parallelizable.
+	if _, ok := ParallelizableLoop(n); ok {
+		t.Error("no loop should be parallelizable")
+	}
+}
+
+func TestOuterParallelizable(t *testing.T) {
+	// A[i][j] = A[i][j-1]: distance (0,1); loop i parallelizable.
+	n := nestOf(t, `
+array A[64][64]
+nest L {
+  for i = 0 to 63 {
+    for j = 1 to 63 {
+      A[i][j] = A[i][j-1];
+    }
+  }
+}
+`)
+	level, ok := ParallelizableLoop(n)
+	if !ok || level != 0 {
+		t.Errorf("ParallelizableLoop = %d,%v", level, ok)
+	}
+}
+
+func TestInnerParallelizable(t *testing.T) {
+	// A[i][j] = A[i-1][j]: distance (1,0); outer carries it, inner parallel.
+	n := nestOf(t, `
+array A[64][64]
+nest L {
+  for i = 1 to 63 {
+    for j = 0 to 63 {
+      A[i][j] = A[i-1][j];
+    }
+  }
+}
+`)
+	level, ok := ParallelizableLoop(n)
+	if !ok || level != 1 {
+		t.Errorf("ParallelizableLoop = %d,%v", level, ok)
+	}
+}
+
+func TestNoDependenceDisjoint(t *testing.T) {
+	// Writes to even elements, reads odd elements: GCD proves independence
+	// in the uniform solver (2i vs 2i+1 -> non-integral distance).
+	n := nestOf(t, `
+array A[200]
+nest L { for i = 0 to 99 { A[2*i] = A[2*i+1]; } }
+`)
+	for _, d := range AnalyzeNest(n) {
+		if !d.Distance.IsZero() || !d.Exact {
+			t.Errorf("unexpected dependence %v", d)
+		}
+	}
+	// The only dependences should be output self-dep distance... actually
+	// A[2i] = A[2i+1] has no self flow; writes hit distinct elements.
+	m, allExact := DistanceMatrix(n)
+	if !allExact || len(m) != 0 {
+		t.Errorf("matrix = %v exact=%v", m, allExact)
+	}
+}
+
+func TestTransposeNonUniform(t *testing.T) {
+	// B[i][j] = B[j][i] is not uniformly generated; GCD test cannot
+	// disprove, so we get a conservative (inexact) dependence.
+	n := nestOf(t, `
+array B[32][32]
+nest L {
+  for i = 0 to 31 {
+    for j = 0 to 31 {
+      B[i][j] = B[j][i];
+    }
+  }
+}
+`)
+	deps := AnalyzeNest(n)
+	foundInexact := false
+	for _, d := range deps {
+		if !d.Exact {
+			foundInexact = true
+		}
+	}
+	if !foundInexact {
+		t.Errorf("expected conservative dependence, got %v", deps)
+	}
+	if _, ok := ParallelizableLoop(n); ok {
+		t.Error("conservative dependence must block parallelization")
+	}
+}
+
+func TestAntiAndOutputKinds(t *testing.T) {
+	// A[i] = A[i+1]: read of i+1 happens before write of i+1 one iteration
+	// later -> anti dependence distance (1).
+	n := nestOf(t, `
+array A[101]
+nest L { for i = 0 to 99 { A[i] = A[i+1]; } }
+`)
+	foundAnti := false
+	for _, d := range AnalyzeNest(n) {
+		if d.Kind == Anti && d.Exact && d.Distance.Equal(affine.NewVector(1)) {
+			foundAnti = true
+		}
+	}
+	if !foundAnti {
+		t.Errorf("missing anti dependence: %v", AnalyzeNest(n))
+	}
+
+	// Two statements writing the same location: output dependence, distance 0.
+	n2 := nestOf(t, `
+array A[100]
+array B[100]
+nest L { for i = 0 to 99 {
+  A[i] = B[i];
+  A[i] = B[i] + 1;
+} }
+`)
+	foundOut := false
+	for _, d := range AnalyzeNest(n2) {
+		if d.Kind == Output && d.Distance.IsZero() && d.Src.Index == 0 && d.Dst.Index == 1 {
+			foundOut = true
+		}
+	}
+	if !foundOut {
+		t.Errorf("missing output dependence: %v", AnalyzeNest(n2))
+	}
+}
+
+func TestCrossStatementFlowSameIteration(t *testing.T) {
+	// S0 writes A[i], S1 reads A[i]: flow, distance 0, S0 -> S1.
+	n := nestOf(t, `
+array A[100]
+array B[100]
+nest L { for i = 0 to 99 {
+  A[i] = B[i];
+  B[i] = A[i];
+} }
+`)
+	found := false
+	for _, d := range AnalyzeNest(n) {
+		if d.Kind == Flow && d.Distance.IsZero() && d.Src.Index == 0 && d.Dst.Index == 1 && d.Array.Name == "A" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("deps = %v", AnalyzeNest(n))
+	}
+}
+
+func TestSkewedDistance(t *testing.T) {
+	// A[i+j][j] = A[i+j-2][j-1]: uniform with delta (2,1) on subscripts
+	// (i+j, j); solving gives d = (1,1).
+	n := nestOf(t, `
+array A[200][100]
+nest L {
+  for i = 2 to 90 {
+    for j = 1 to 90 {
+      A[i+j][j] = A[i+j-2][j-1];
+    }
+  }
+}
+`)
+	m, allExact := DistanceMatrix(n)
+	if !allExact || len(m) != 1 || !m[0].Equal(affine.NewVector(1, 1)) {
+		t.Errorf("matrix = %v exact = %v", m, allExact)
+	}
+}
+
+func TestUnderdeterminedSolution(t *testing.T) {
+	// A[i] inside a 2-deep nest: subscript ignores j, so the distance in j
+	// is unconstrained -> inexact dependence.
+	n := nestOf(t, `
+array A[100]
+nest L {
+  for i = 1 to 9 {
+    for j = 0 to 9 {
+      A[i] = A[i-1];
+    }
+  }
+}
+`)
+	deps := AnalyzeNest(n)
+	inexact := 0
+	for _, d := range deps {
+		if !d.Exact {
+			inexact++
+		}
+	}
+	if inexact == 0 {
+		t.Errorf("expected inexact dependences, got %v", deps)
+	}
+}
+
+func TestDependenceString(t *testing.T) {
+	n := nestOf(t, `
+array A[100]
+nest L { for i = 1 to 99 { A[i] = A[i-1]; } }
+`)
+	deps := AnalyzeNest(n)
+	if len(deps) == 0 {
+		t.Fatal("no deps")
+	}
+	s := deps[0].String()
+	if s == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestIterIntervalsTriangular(t *testing.T) {
+	n := nestOf(t, `
+array A[100][100]
+nest L {
+  for i = 0 to 9 {
+    for j = i to 9 {
+      read A[i][j];
+    }
+  }
+}
+`)
+	env, err := IterIntervals(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env["i"] != (Interval{0, 9}) {
+		t.Errorf("i interval = %v", env["i"])
+	}
+	if env["j"] != (Interval{0, 9}) { // lower bound i ranges 0..9 -> lo 0
+		t.Errorf("j interval = %v", env["j"])
+	}
+}
+
+func TestRefRegion(t *testing.T) {
+	p := analyze(t, `
+array A[100][100]
+nest L {
+  for i = 0 to 9 {
+    for j = 0 to 4 {
+      A[i+1][2*j] = A[i][j];
+    }
+  }
+}
+`)
+	n := p.Nests[0]
+	w, err := RefRegion(n, n.Stmts[0].Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != (Interval{1, 10}) || w[1] != (Interval{0, 8}) {
+		t.Errorf("write region = %v", w)
+	}
+}
+
+func TestNestsInterfere(t *testing.T) {
+	p := analyze(t, `
+array A[100]
+array B[100]
+nest L1 { for i = 0 to 49 { A[i] = B[i]; } }
+nest L2 { for i = 0 to 49 { B[i] = A[i+50]; } }
+nest L3 { for i = 50 to 99 { A[i] = B[i]; } }
+`)
+	// L1 writes A[0..49], L2 reads A[50..99]: no overlap on A; but L1
+	// reads B[0..49] and L2 writes B[0..49]: interference via B.
+	arrs, err := NestsInterfere(p.Nests[0], p.Nests[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrs) != 1 || arrs[0].Name != "B" {
+		t.Errorf("interfere(L1,L2) = %v", arrs)
+	}
+	// L2 writes B[0..49]; L3 reads B[50..99] and writes A[50..99], which L2
+	// reads (A[50..99]): interference via A.
+	arrs, err = NestsInterfere(p.Nests[1], p.Nests[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrs) != 1 || arrs[0].Name != "A" {
+		t.Errorf("interfere(L2,L3) = %v", arrs)
+	}
+	// L1 and L3 touch disjoint halves of both arrays: independent.
+	arrs, err = NestsInterfere(p.Nests[0], p.Nests[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrs) != 0 {
+		t.Errorf("interfere(L1,L3) = %v", arrs)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	if (Interval{3, 2}).Intersects(Interval{0, 10}) {
+		t.Error("empty interval cannot intersect")
+	}
+	if !(Interval{0, 5}).Intersects(Interval{5, 9}) {
+		t.Error("touching intervals intersect")
+	}
+	if (Interval{0, 4}).Intersects(Interval{5, 9}) {
+		t.Error("disjoint intervals must not intersect")
+	}
+	if (Interval{1, 2}).String() != "[1, 2]" {
+		t.Error("String wrong")
+	}
+}

@@ -1,0 +1,406 @@
+// Package exp is the experiment harness for §7 of the paper: it runs each
+// application under the seven evaluated versions — Base, TPM, DRPM,
+// T-TPM-s, T-DRPM-s, T-TPM-m, T-DRPM-m — for single- and multi-processor
+// executions, and reports disk energy and disk I/O time normalized to the
+// Base version, regenerating the data behind Table 2 and Figures 9 and 10.
+package exp
+
+import (
+	"fmt"
+
+	"diskreuse/internal/apps"
+	"diskreuse/internal/core"
+	"diskreuse/internal/disk"
+	"diskreuse/internal/layout"
+	"diskreuse/internal/par"
+	"diskreuse/internal/sema"
+	"diskreuse/internal/sim"
+	"diskreuse/internal/trace"
+)
+
+// Version names one evaluated configuration (§7.1).
+type Version string
+
+// The seven versions of the paper's evaluation, plus one extension.
+const (
+	VBase   Version = "Base"
+	VTPM    Version = "TPM"
+	VDRPM   Version = "DRPM"
+	VTTPMs  Version = "T-TPM-s"
+	VTDRPMs Version = "T-DRPM-s"
+	VTTPMm  Version = "T-TPM-m"
+	VTDRPMm Version = "T-DRPM-m"
+	// VPTPM is the proactive-TPM extension (Son et al. [25], discussed in
+	// the paper's §3): the restructured schedule plus compiler-inserted
+	// spin-up directives that hide the reactive wake-up latency. Only
+	// evaluated when Options.Proactive is set.
+	VPTPM Version = "P-TPM"
+)
+
+// VersionsFor returns the versions evaluated at a processor count: the
+// multi-processor-specific T-*-m versions only exist for procs > 1.
+func VersionsFor(procs int) []Version {
+	vs := []Version{VBase, VTPM, VDRPM, VTTPMs, VTDRPMs}
+	if procs > 1 {
+		vs = append(vs, VTTPMm, VTDRPMm)
+	}
+	return vs
+}
+
+// policyOf maps a version to its power-management policy.
+func policyOf(v Version) sim.Policy {
+	switch v {
+	case VTPM, VTTPMs, VTTPMm:
+		return sim.TPM
+	case VDRPM, VTDRPMs, VTDRPMm:
+		return sim.DRPM
+	default:
+		return sim.NoPM
+	}
+}
+
+// Options configures an experiment run.
+type Options struct {
+	Size  apps.Size
+	Procs int
+	Model disk.Model // zero Name selects the Ultrastar 36Z15
+	// Sim overrides (zero = defaults).
+	TPMThreshold float64
+	DRPMWindow   int
+	DRPMRaise    float64
+	DRPMLower    float64
+	RAIDWidth    int
+	// Trace generation overrides.
+	CachePages int
+	// Proactive adds the P-TPM extension version (restructured schedule
+	// with compiler-inserted spin-up hints) to every run.
+	Proactive bool
+}
+
+func (o *Options) fill() {
+	if o.Procs <= 0 {
+		o.Procs = 1
+	}
+	if o.Model.Name == "" {
+		o.Model = disk.Ultrastar36Z15()
+	}
+}
+
+// RunResult is one (app, version) measurement.
+type RunResult struct {
+	App      string
+	Version  Version
+	Procs    int
+	Energy   float64 // J
+	IOTime   float64 // s, total disk busy time
+	Response float64 // s, summed request response times
+	Requests int
+	// NormEnergy is Energy / Base-energy at the same processor count; the
+	// quantity Figures 9(a)/9(b) plot.
+	NormEnergy float64
+	// PerfDegradation is (IOTime - Base-IOTime) / Base-IOTime; the
+	// quantity Figures 10(a)/10(b) plot.
+	PerfDegradation float64
+	SpinUps         int
+	SpeedShifts     int
+	// DiskRuns counts the maximal same-disk spans in the schedule (per
+	// processor, summed); fewer runs = better clustering.
+	DiskRuns int
+}
+
+// AppResult collects all version results for one application.
+type AppResult struct {
+	App       apps.App
+	DataBytes int64
+	Results   []RunResult
+}
+
+// Get returns the result for a version.
+func (ar *AppResult) Get(v Version) (RunResult, bool) {
+	for _, r := range ar.Results {
+		if r.Version == v {
+			return r, true
+		}
+	}
+	return RunResult{}, false
+}
+
+// SuiteResult is a full suite run at one processor count.
+type SuiteResult struct {
+	Procs int
+	Apps  []AppResult
+}
+
+// AverageSaving returns the mean energy saving (1 - normalized energy) of
+// a version across the suite, as a fraction.
+func (sr *SuiteResult) AverageSaving(v Version) float64 {
+	var sum float64
+	var n int
+	for i := range sr.Apps {
+		if r, ok := sr.Apps[i].Get(v); ok {
+			sum += 1 - r.NormEnergy
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AverageDegradation returns the mean performance degradation of a version
+// across the suite, as a fraction.
+func (sr *SuiteResult) AverageDegradation(v Version) float64 {
+	var sum float64
+	var n int
+	for i := range sr.Apps {
+		if r, ok := sr.Apps[i].Get(v); ok {
+			sum += r.PerfDegradation
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// execution is a fully prepared run: phases plus clustering stats.
+type execution struct {
+	phases   []trace.Phase
+	diskRuns int
+}
+
+// prepare builds the three execution plans a processor count needs:
+// original order, single-processor-style restructured order, and (for
+// procs > 1) the layout-aware restructured order.
+func prepare(r *core.Restructurer, procs int) (orig, restrS, restrM *execution, err error) {
+	numDisks := r.Layout.NumDisks()
+	if procs == 1 {
+		o := r.OriginalSchedule()
+		s, err := r.DiskReuseSchedule()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := r.Verify(s); err != nil {
+			return nil, nil, nil, err
+		}
+		return &execution{phases: trace.SinglePhase(o), diskRuns: core.Stats(o, numDisks).Runs},
+			&execution{phases: trace.SinglePhase(s), diskRuns: core.Stats(s, numDisks).Runs},
+			nil, nil
+	}
+
+	lp, err := par.LoopParallelize(r, procs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	la, err := par.LayoutAware(r, procs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	numNests := len(r.Prog.Nests)
+
+	build := func(a *par.Assignment, restructure bool) (*execution, error) {
+		perProc := make([][]int, procs)
+		runs := 0
+		for p, sub := range a.Subsets() {
+			// Split the processor's iterations by nest (barrier phases).
+			byNest := make([][]int, numNests)
+			for _, id := range sub {
+				k := r.Space.Iters[id].Nest
+				byNest[k] = append(byNest[k], id)
+			}
+			for _, group := range byNest {
+				if len(group) == 0 {
+					continue
+				}
+				order := group
+				if restructure {
+					s, err := r.ScheduleFor(group)
+					if err != nil {
+						return nil, err
+					}
+					order = s.Order
+					runs += core.Stats(s, numDisks).Runs
+				} else {
+					runs += runsOf(r, group)
+				}
+				perProc[p] = append(perProc[p], order...)
+			}
+		}
+		phases := trace.NestPhases(r.Space, perProc, numNests)
+		if err := trace.VerifyPhases(r.Space, r.Graph, phases); err != nil {
+			return nil, err
+		}
+		return &execution{phases: phases, diskRuns: runs}, nil
+	}
+
+	orig, err = build(lp, false)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	restrS, err = build(lp, true)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	restrM, err = build(la, true)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return orig, restrS, restrM, nil
+}
+
+// runsOf counts same-disk runs in an unrestructured iteration order.
+func runsOf(r *core.Restructurer, order []int) int {
+	runs, prev := 0, -1
+	for _, id := range order {
+		d := r.PrimaryDisk(id)
+		if d != prev {
+			runs++
+			prev = d
+		}
+	}
+	return runs
+}
+
+// RunApp evaluates one application under all versions for the configured
+// processor count.
+func RunApp(a apps.App, opt Options) (*AppResult, error) {
+	opt.fill()
+	p, err := a.Compile()
+	if err != nil {
+		return nil, err
+	}
+	lay, err := layout.New(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.New(p, lay)
+	if err != nil {
+		return nil, err
+	}
+	orig, restrS, restrM, err := prepare(r, opt.Procs)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", a.Name, err)
+	}
+
+	genCfg := trace.GenConfig{
+		ComputePerIter:  a.ComputePerIter,
+		CachePages:      opt.CachePages,
+		ServiceEstimate: opt.Model.FullSpeedService(lay.PageSize),
+	}
+	traces := map[*execution][]trace.Request{}
+	for _, e := range []*execution{orig, restrS, restrM} {
+		if e == nil {
+			continue
+		}
+		tr, err := trace.Generate(r, e.phases, genCfg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", a.Name, err)
+		}
+		traces[e] = tr
+	}
+
+	execOf := func(v Version) *execution {
+		switch v {
+		case VTTPMs, VTDRPMs:
+			return restrS
+		case VTTPMm, VTDRPMm:
+			return restrM
+		case VPTPM:
+			// The extension applies to the best transformed schedule
+			// available: layout-aware when multiprocessing, single-CPU
+			// restructured otherwise.
+			if restrM != nil {
+				return restrM
+			}
+			return restrS
+		default:
+			return orig
+		}
+	}
+	simCfg := sim.Config{
+		Model:        opt.Model,
+		NumDisks:     lay.NumDisks(),
+		TPMThreshold: opt.TPMThreshold,
+		DRPMWindow:   opt.DRPMWindow,
+		DRPMRaise:    opt.DRPMRaise,
+		DRPMLower:    opt.DRPMLower,
+		RAIDWidth:    opt.RAIDWidth,
+	}
+
+	versions := VersionsFor(opt.Procs)
+	if opt.Proactive {
+		versions = append(versions, VPTPM)
+	}
+	ar := &AppResult{App: a, DataBytes: dataBytes(p)}
+	var baseEnergy, baseIOTime float64
+	for _, v := range versions {
+		e := execOf(v)
+		cfg := simCfg
+		cfg.Policy = policyOf(v)
+		if v == VPTPM {
+			cfg.Policy = sim.TPM
+			thr := cfg.TPMThreshold
+			if thr <= 0 {
+				thr = cfg.Model.BreakEven
+			}
+			cfg.Hints, err = trace.ProactiveHints(traces[e], lay.PageDisk,
+				thr, cfg.Model.SpinDownTime, cfg.Model.SpinUpTime)
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s/%s: %w", a.Name, v, err)
+			}
+		}
+		res, err := sim.Run(traces[e], lay.PageDisk, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s/%s: %w", a.Name, v, err)
+		}
+		rr := RunResult{
+			App:      a.Name,
+			Version:  v,
+			Procs:    opt.Procs,
+			Energy:   res.Energy,
+			IOTime:   res.IOTime,
+			Response: res.ResponseTime,
+			Requests: res.Requests,
+			DiskRuns: e.diskRuns,
+		}
+		for _, st := range res.PerDisk {
+			rr.SpinUps += st.Meter.SpinUps
+			rr.SpeedShifts += st.Meter.SpeedShifts
+		}
+		if v == VBase {
+			baseEnergy, baseIOTime = res.Energy, res.IOTime
+		}
+		if baseEnergy > 0 {
+			rr.NormEnergy = rr.Energy / baseEnergy
+		}
+		if baseIOTime > 0 {
+			rr.PerfDegradation = (rr.IOTime - baseIOTime) / baseIOTime
+		}
+		ar.Results = append(ar.Results, rr)
+	}
+	return ar, nil
+}
+
+func dataBytes(p *sema.Program) int64 {
+	var total int64
+	for _, a := range p.Arrays {
+		total += a.Bytes()
+	}
+	return total
+}
+
+// RunSuite evaluates the whole application suite.
+func RunSuite(opt Options) (*SuiteResult, error) {
+	opt.fill()
+	sr := &SuiteResult{Procs: opt.Procs}
+	for _, a := range apps.Suite(opt.Size) {
+		ar, err := RunApp(a, opt)
+		if err != nil {
+			return nil, err
+		}
+		sr.Apps = append(sr.Apps, *ar)
+	}
+	return sr, nil
+}

@@ -1,0 +1,327 @@
+// Package interp executes validated DRL programs abstractly: it enumerates
+// iteration instances across all nests, resolves each iteration's array
+// accesses to linear element indices, and builds the exact element-wise
+// dependence graph that the disk-reuse scheduler must respect.
+//
+// The paper's Fig. 3 algorithm needs to know, for every loop iteration,
+// (a) which disk(s) it touches and (b) which earlier iterations it depends
+// on. Static distance vectors (package dep) answer (b) only within one
+// nest and only for uniformly generated references; the interpreter
+// computes the exact graph across all nests by replaying accesses in
+// program order and recording flow (read-after-write), anti
+// (write-after-read), and output (write-after-write) edges at element
+// granularity.
+package interp
+
+import (
+	"fmt"
+	"sort"
+
+	"diskreuse/internal/affine"
+	"diskreuse/internal/sema"
+)
+
+// Iteration identifies one execution of a nest body.
+type Iteration struct {
+	Nest int           // index into Program.Nests
+	Iter affine.Vector // iteration vector
+}
+
+func (it Iteration) String() string {
+	return fmt.Sprintf("N%d%s", it.Nest, it.Iter)
+}
+
+// Access is one element touch performed by an iteration.
+type Access struct {
+	Array *sema.Array
+	Lin   int64 // row-major linear element index
+	Write bool
+	Stmt  int // statement index within the nest body
+}
+
+// compiledRef is an array reference lowered to a linear function of the
+// iteration vector: Lin(iv) = c0 + Σ coef[l]*iv[l].
+type compiledRef struct {
+	arr   *sema.Array
+	coef  []int64
+	c0    int64
+	write bool
+	stmt  int
+	// raw subscripts kept for bounds validation
+	subs []affine.Expr
+}
+
+// Space is the enumerated iteration space of a whole program: every
+// iteration of every nest, in original program order, with compiled access
+// functions.
+type Space struct {
+	Prog  *sema.Program
+	Iters []Iteration // global id -> iteration
+	// NestFirst[k] is the global id of nest k's first iteration.
+	NestFirst []int
+
+	refs [][]compiledRef // per nest
+}
+
+// BuildSpace enumerates prog's iterations and compiles its references.
+func BuildSpace(prog *sema.Program) (*Space, error) {
+	s := &Space{Prog: prog}
+	for _, n := range prog.Nests {
+		crefs, err := compileNest(n)
+		if err != nil {
+			return nil, err
+		}
+		s.refs = append(s.refs, crefs)
+		s.NestFirst = append(s.NestFirst, len(s.Iters))
+		nestIdx := n.Index
+		n.ForEachIteration(func(iv affine.Vector) {
+			s.Iters = append(s.Iters, Iteration{Nest: nestIdx, Iter: iv.Clone()})
+		})
+	}
+	if len(s.Iters) == 0 {
+		return nil, fmt.Errorf("interp: program has no iterations")
+	}
+	return s, nil
+}
+
+func compileNest(n *sema.Nest) ([]compiledRef, error) {
+	iters := n.Iterators()
+	var out []compiledRef
+	addRef := func(r *sema.Ref, write bool, stmt int) error {
+		a := r.Array
+		// Row-major strides.
+		strides := make([]int64, len(a.Dims))
+		st := int64(1)
+		for k := len(a.Dims) - 1; k >= 0; k-- {
+			strides[k] = st
+			st *= a.Dims[k]
+		}
+		cr := compiledRef{
+			arr:   a,
+			coef:  make([]int64, len(iters)),
+			write: write,
+			stmt:  stmt,
+			subs:  r.Subs,
+		}
+		for k, sub := range r.Subs {
+			cr.c0 += sub.Const * strides[k]
+			for l, v := range iters {
+				cr.coef[l] += sub.Coeff(v) * strides[k]
+			}
+		}
+		out = append(out, cr)
+		return nil
+	}
+	for _, st := range n.Stmts {
+		if st.Write != nil {
+			if err := addRef(st.Write, true, st.Index); err != nil {
+				return nil, err
+			}
+		}
+		for _, r := range st.Reads {
+			if err := addRef(r, false, st.Index); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// NumIterations returns the total number of iteration instances.
+func (s *Space) NumIterations() int { return len(s.Iters) }
+
+// Accesses appends the accesses of global iteration id to buf and returns
+// it. Accesses appear in statement order, with each statement's write
+// after its reads (an assignment reads its operands before storing).
+func (s *Space) Accesses(id int, buf []Access) []Access {
+	it := s.Iters[id]
+	iv := it.Iter
+	refs := s.refs[it.Nest]
+	// refs are stored write-first per statement; reorder to reads-then-
+	// write per statement on the fly.
+	i := 0
+	for i < len(refs) {
+		stmt := refs[i].stmt
+		j := i
+		for j < len(refs) && refs[j].stmt == stmt {
+			j++
+		}
+		// reads first
+		for k := i; k < j; k++ {
+			if !refs[k].write {
+				buf = append(buf, access(refs[k], iv))
+			}
+		}
+		for k := i; k < j; k++ {
+			if refs[k].write {
+				buf = append(buf, access(refs[k], iv))
+			}
+		}
+		i = j
+	}
+	return buf
+}
+
+func access(cr compiledRef, iv affine.Vector) Access {
+	lin := cr.c0
+	for l, c := range cr.coef {
+		lin += c * iv[l]
+	}
+	return Access{Array: cr.arr, Lin: lin, Write: cr.write, Stmt: cr.stmt}
+}
+
+// Validate checks every access of every iteration against the array bounds
+// dimension by dimension. It catches subscript errors that the linearized
+// fast path would silently fold into a wrong (but in-range) element.
+func (s *Space) Validate() error {
+	for _, n := range s.Prog.Nests {
+		iters := n.Iterators()
+		var failed error
+		n.ForEachIteration(func(iv affine.Vector) {
+			if failed != nil {
+				return
+			}
+			env := make(map[string]int64, len(iters))
+			for l, v := range iters {
+				env[v] = iv[l]
+			}
+			for _, st := range n.Stmts {
+				for _, r := range st.Refs() {
+					idx := r.Eval(env)
+					if _, ok := r.Array.LinearIndex(idx); !ok {
+						failed = fmt.Errorf("interp: nest %s iteration %s: %s subscripts %v out of bounds (dims %v)",
+							n.Name, iv, r, idx, r.Array.Dims)
+						return
+					}
+				}
+			}
+		})
+		if failed != nil {
+			return failed
+		}
+	}
+	return nil
+}
+
+// DepGraph is the exact iteration-level dependence DAG. Preds[u] lists the
+// global iteration ids that must execute before iteration u; Succs is the
+// inverse. Both lists are sorted and duplicate-free. Edges always point
+// from an earlier program-order iteration to a later one, so the graph is
+// acyclic by construction.
+type DepGraph struct {
+	Preds [][]int32
+	Succs [][]int32
+	edges int
+}
+
+// NumEdges returns the number of dependence edges.
+func (g *DepGraph) NumEdges() int { return g.edges }
+
+// elemState tracks the access history of one array element during replay.
+type elemState struct {
+	lastWriter int32
+	readers    []int32 // readers since the last write
+}
+
+// BuildDeps replays the program in original order and constructs the exact
+// dependence graph. Same-iteration accesses never create edges (the
+// iteration is the atomic scheduling unit).
+func (s *Space) BuildDeps() *DepGraph {
+	n := len(s.Iters)
+	g := &DepGraph{
+		Preds: make([][]int32, n),
+		Succs: make([][]int32, n),
+	}
+	// Per-array element state, allocated lazily per array.
+	states := map[*sema.Array][]elemState{}
+	stateOf := func(a *sema.Array) []elemState {
+		st, ok := states[a]
+		if !ok {
+			st = make([]elemState, a.Elems())
+			for i := range st {
+				st[i].lastWriter = -1
+			}
+			states[a] = st
+		}
+		return st
+	}
+	addEdge := func(from, to int32) {
+		if from < 0 || from == to {
+			return
+		}
+		g.Preds[to] = append(g.Preds[to], from)
+	}
+	var buf []Access
+	for u := 0; u < n; u++ {
+		buf = s.Accesses(u, buf[:0])
+		for _, a := range buf {
+			st := stateOf(a.Array)
+			es := &st[a.Lin]
+			if a.Write {
+				addEdge(es.lastWriter, int32(u)) // output
+				for _, r := range es.readers {   // anti
+					addEdge(r, int32(u))
+				}
+				es.lastWriter = int32(u)
+				es.readers = es.readers[:0]
+			} else {
+				addEdge(es.lastWriter, int32(u)) // flow
+				if m := len(es.readers); m == 0 || es.readers[m-1] != int32(u) {
+					es.readers = append(es.readers, int32(u))
+				}
+			}
+		}
+	}
+	// Sort and deduplicate predecessor lists; build successor lists.
+	for u := range g.Preds {
+		ps := g.Preds[u]
+		if len(ps) == 0 {
+			continue
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		w := 0
+		for i, p := range ps {
+			if i == 0 || p != ps[i-1] {
+				ps[w] = p
+				w++
+			}
+		}
+		g.Preds[u] = ps[:w]
+		g.edges += w
+		for _, p := range ps[:w] {
+			g.Succs[p] = append(g.Succs[p], int32(u))
+		}
+	}
+	return g
+}
+
+// VerifySchedule checks that order (a permutation of iteration ids) visits
+// every iteration exactly once and respects every dependence edge. It is
+// the correctness oracle for the restructuring transformations.
+func (s *Space) VerifySchedule(g *DepGraph, order []int) error {
+	n := len(s.Iters)
+	if len(order) != n {
+		return fmt.Errorf("interp: schedule has %d entries, want %d", len(order), n)
+	}
+	pos := make([]int, n)
+	seen := make([]bool, n)
+	for p, id := range order {
+		if id < 0 || id >= n {
+			return fmt.Errorf("interp: schedule entry %d out of range", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("interp: iteration %d scheduled twice", id)
+		}
+		seen[id] = true
+		pos[id] = p
+	}
+	for u := 0; u < n; u++ {
+		for _, p := range g.Preds[u] {
+			if pos[p] >= pos[u] {
+				return fmt.Errorf("interp: dependence violated: %s must precede %s",
+					s.Iters[p], s.Iters[u])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package iset
+
+import (
+	"fmt"
+	"strings"
+
+	"diskreuse/internal/affine"
+)
+
+// Bound is one symbolic loop bound: the integer value ceil(E/Div) for lower
+// bounds or floor(E/Div) for upper bounds, where E is affine in the
+// enclosing loop variables. Div is always >= 1.
+type Bound struct {
+	E   affine.Expr
+	Div int64
+}
+
+func (b Bound) eval(env map[string]int64, ceil bool) int64 {
+	v := b.E.MustEval(env)
+	if b.Div == 1 {
+		return v
+	}
+	if ceil {
+		return affine.CeilDiv(v, b.Div)
+	}
+	return affine.FloorDiv(v, b.Div)
+}
+
+func (b Bound) render(ceil bool) string {
+	if b.Div == 1 {
+		return b.E.String()
+	}
+	op := "floordiv"
+	if ceil {
+		op = "ceildiv"
+	}
+	return fmt.Sprintf("%s(%s, %d)", op, b.E, b.Div)
+}
+
+// GenLoop is one level of generated (restructured) loop code, the output of
+// Codegen — the role Omega's codegen utility plays in Fig. 3 of the paper.
+// The loop runs Var from max(Lower) to min(Upper); when Step > 1 only
+// values congruent to Offset modulo Step are visited. Guards are affine
+// conditions over enclosing variables that must be nonnegative for the
+// loop to execute at all.
+type GenLoop struct {
+	Var    string
+	Lower  []Bound // effective lo = max_i ceil(Lower[i])
+	Upper  []Bound // effective hi = min_i floor(Upper[i])
+	Step   int64
+	Offset int64 // congruence anchor for Step > 1
+	Guards []affine.Expr
+	Inner  *GenLoop // nil at the innermost level
+}
+
+// Codegen produces a chain of GenLoops that enumerate domain d in
+// lexicographic order. The result executes exactly the points of d.
+//
+// The generated code is lightly simplified, the way Omega's codegen tidies
+// its output: constant-true guards vanish, a constraint that already
+// appeared at an outer level is not re-emitted as an inner guard, duplicate
+// bounds are merged, and among constant bounds only the tightest survives.
+func Codegen(d *Domain) (*GenLoop, error) {
+	if len(d.Vars) == 0 {
+		return nil, fmt.Errorf("iset: codegen over empty variable list")
+	}
+	d.project()
+	seen := map[string]bool{} // constraints already enforced at outer levels
+	var outer, cur *GenLoop
+	for l, name := range d.Vars {
+		g := &GenLoop{Var: name, Step: 1}
+		for _, c := range d.proj[l] {
+			coeff := c.Coeff(name)
+			rest := c.Sub(affine.Term(name, coeff))
+			switch {
+			case coeff > 0:
+				g.Lower = appendBound(g.Lower, Bound{E: rest.Neg(), Div: coeff}, false)
+			case coeff < 0:
+				g.Upper = appendBound(g.Upper, Bound{E: rest, Div: -coeff}, true)
+			default:
+				if c.IsConst() && c.Const >= 0 {
+					continue // trivially true
+				}
+				if seen[c.String()] {
+					continue // already enforced by an enclosing level
+				}
+				g.Guards = append(g.Guards, c)
+			}
+		}
+		if len(g.Lower) == 0 || len(g.Upper) == 0 {
+			return nil, fmt.Errorf("iset: variable %s is unbounded", name)
+		}
+		for _, c := range d.proj[l] {
+			seen[c.String()] = true
+		}
+		if cur == nil {
+			outer = g
+		} else {
+			cur.Inner = g
+		}
+		cur = g
+	}
+	return outer, nil
+}
+
+// appendBound adds b to bs, dropping exact duplicates and keeping only the
+// tightest constant bound (the largest lower or the smallest upper).
+func appendBound(bs []Bound, b Bound, upper bool) []Bound {
+	if b.E.IsConst() && b.Div != 1 {
+		// Fold a constant divided bound into a plain constant.
+		if upper {
+			b = Bound{E: affine.Constant(affine.FloorDiv(b.E.Const, b.Div)), Div: 1}
+		} else {
+			b = Bound{E: affine.Constant(affine.CeilDiv(b.E.Const, b.Div)), Div: 1}
+		}
+	}
+	for i, have := range bs {
+		if have.Div == b.Div && have.E.Equal(b.E) {
+			return bs // duplicate
+		}
+		if have.E.IsConst() && b.E.IsConst() && have.Div == 1 && b.Div == 1 {
+			// Keep the tighter constant.
+			if upper && b.E.Const < have.E.Const || !upper && b.E.Const > have.E.Const {
+				bs[i] = b
+			}
+			return bs
+		}
+	}
+	return append(bs, b)
+}
+
+// bounds computes the concrete [lo, hi] range of g at env, respecting the
+// Step/Offset congruence, and evaluates guards. ok is false if the range is
+// empty or a guard fails.
+func (g *GenLoop) bounds(env map[string]int64) (lo, hi int64, ok bool) {
+	for _, gd := range g.Guards {
+		if gd.MustEval(env) < 0 {
+			return 0, 0, false
+		}
+	}
+	first := true
+	for _, b := range g.Lower {
+		v := b.eval(env, true)
+		if first || v > lo {
+			lo = v
+		}
+		first = false
+	}
+	first = true
+	for _, b := range g.Upper {
+		v := b.eval(env, false)
+		if first || v < hi {
+			hi = v
+		}
+		first = false
+	}
+	if g.Step > 1 {
+		// Align lo upward to the congruence class Offset mod Step.
+		if r := affine.Mod(lo-g.Offset, g.Step); r != 0 {
+			lo += g.Step - r
+		}
+	}
+	return lo, hi, lo <= hi
+}
+
+// Run executes the loop chain, calling fn once per iteration with the
+// environment binding every loop variable. The map passed to fn is reused;
+// copy values you need to keep.
+func (g *GenLoop) Run(fn func(env map[string]int64)) {
+	env := make(map[string]int64)
+	g.run(env, fn)
+}
+
+func (g *GenLoop) run(env map[string]int64, fn func(map[string]int64)) {
+	lo, hi, ok := g.bounds(env)
+	if !ok {
+		return
+	}
+	step := g.Step
+	if step < 1 {
+		step = 1
+	}
+	for v := lo; v <= hi; v += step {
+		env[g.Var] = v
+		if g.Inner == nil {
+			fn(env)
+		} else {
+			g.Inner.run(env, fn)
+		}
+	}
+	delete(env, g.Var)
+}
+
+// Points runs the loop chain and collects the visited points in variable
+// order (outermost loop variable first).
+func (g *GenLoop) Points() []affine.Vector {
+	var vars []string
+	for l := g; l != nil; l = l.Inner {
+		vars = append(vars, l.Var)
+	}
+	var out []affine.Vector
+	g.Run(func(env map[string]int64) {
+		v := make(affine.Vector, len(vars))
+		for i, name := range vars {
+			v[i] = env[name]
+		}
+		out = append(out, v)
+	})
+	return out
+}
+
+// String renders the loop chain as indented pseudo-code in the style of the
+// paper's Fig. 2(c).
+func (g *GenLoop) String() string {
+	var b strings.Builder
+	g.write(&b, 0)
+	return b.String()
+}
+
+func (g *GenLoop) write(b *strings.Builder, indent int) {
+	pad := strings.Repeat("  ", indent)
+	for _, gd := range g.Guards {
+		fmt.Fprintf(b, "%sif %s >= 0 {\n", pad, gd)
+		pad += "  "
+		indent++
+	}
+	lo := renderBounds(g.Lower, true, "max")
+	hi := renderBounds(g.Upper, false, "min")
+	if g.Step > 1 && len(g.Lower) == 1 && g.Lower[0].Div == 1 && g.Lower[0].E.IsConst() {
+		// Fold the congruence anchor into a constant lower bound so the
+		// printed loop starts at its first actually-visited value.
+		v := g.Lower[0].E.Const
+		if r := affine.Mod(v-g.Offset, g.Step); r != 0 {
+			v += g.Step - r
+		}
+		lo = fmt.Sprintf("%d", v)
+	}
+	fmt.Fprintf(b, "%sfor %s = %s to %s", pad, g.Var, lo, hi)
+	if g.Step > 1 {
+		fmt.Fprintf(b, " step %d", g.Step)
+		if len(g.Lower) != 1 || g.Lower[0].Div != 1 || !g.Lower[0].E.IsConst() {
+			fmt.Fprintf(b, " /* %s ≡ %d (mod %d) */", g.Var, g.Offset, g.Step)
+		}
+	}
+	b.WriteString(" {\n")
+	if g.Inner != nil {
+		g.Inner.write(b, indent+1)
+	} else {
+		fmt.Fprintf(b, "%s  <body>\n", pad)
+	}
+	fmt.Fprintf(b, "%s}\n", pad)
+	for range g.Guards {
+		indent--
+		fmt.Fprintf(b, "%s}\n", strings.Repeat("  ", indent))
+	}
+}
+
+func renderBounds(bs []Bound, ceil bool, comb string) string {
+	if len(bs) == 1 {
+		return bs[0].render(ceil)
+	}
+	parts := make([]string, len(bs))
+	for i, b := range bs {
+		parts[i] = b.render(ceil)
+	}
+	return comb + "(" + strings.Join(parts, ", ") + ")"
+}

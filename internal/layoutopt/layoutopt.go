@@ -1,0 +1,179 @@
+// Package layoutopt implements the extension the paper's §8 outlines as
+// future work: "a framework that combines application code restructuring
+// with disk layout reorganization under a unified optimizer". Following
+// the authors' companion work on energy-efficient disk layouts (Son et
+// al., ICS'05 [23]), the optimizer searches over the layout parameters —
+// stripe unit, stripe factor (number of disks), and starting disk — and
+// evaluates each candidate by actually running the §5 restructuring and
+// the TPM/DRPM simulation on the re-laid-out program, picking the layout
+// with the lowest transformed disk energy.
+package layoutopt
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"diskreuse/internal/apps"
+	"diskreuse/internal/ast"
+	"diskreuse/internal/core"
+	"diskreuse/internal/disk"
+	"diskreuse/internal/layout"
+	"diskreuse/internal/sim"
+	"diskreuse/internal/trace"
+)
+
+// Candidate is one striping configuration applied to every array of the
+// program (the paper's evaluation also stripes all arrays identically).
+type Candidate struct {
+	Unit   int64
+	Factor int
+	Start  int
+}
+
+func (c Candidate) String() string {
+	return fmt.Sprintf("unit=%dKB factor=%d start=%d", c.Unit>>10, c.Factor, c.Start)
+}
+
+// DefaultCandidates is the search space: stripe units from 16 KB to 128 KB
+// and 2 to 16 disks.
+func DefaultCandidates() []Candidate {
+	var out []Candidate
+	for _, unit := range []int64{16 << 10, 32 << 10, 64 << 10, 128 << 10} {
+		for _, factor := range []int{2, 4, 8, 16} {
+			out = append(out, Candidate{Unit: unit, Factor: factor})
+		}
+	}
+	return out
+}
+
+// Result is the evaluation of one candidate layout.
+type Result struct {
+	Candidate
+	// BaseEnergy is the untransformed, unmanaged energy under this layout.
+	BaseEnergy float64
+	// TTPMEnergy and TDRPMEnergy are the restructured energies under TPM
+	// and DRPM.
+	TTPMEnergy  float64
+	TDRPMEnergy float64
+	// Runs is the restructured schedule's disk-run count (clustering).
+	Runs int
+}
+
+// Best returns the lower of the two transformed energies.
+func (r Result) Best() float64 {
+	if r.TTPMEnergy < r.TDRPMEnergy {
+		return r.TTPMEnergy
+	}
+	return r.TDRPMEnergy
+}
+
+// Evaluate runs the full pipeline for one application under one candidate
+// layout: compile, re-stripe every array, restructure, generate the trace,
+// and simulate Base/T-TPM/T-DRPM.
+func Evaluate(a apps.App, c Candidate) (Result, error) {
+	prog, err := a.Compile()
+	if err != nil {
+		return Result{}, err
+	}
+	for _, arr := range prog.Arrays {
+		arr.Stripe = ast.StripeSpec{Unit: c.Unit, Factor: c.Factor, Start: c.Start}
+	}
+	lay, err := layout.New(prog, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := core.New(prog, lay)
+	if err != nil {
+		return Result{}, err
+	}
+	sched, err := r.DiskReuseSchedule()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := r.Verify(sched); err != nil {
+		return Result{}, err
+	}
+	model := disk.Ultrastar36Z15()
+	gen := trace.GenConfig{
+		ComputePerIter:  a.ComputePerIter,
+		ServiceEstimate: model.FullSpeedService(lay.PageSize),
+	}
+	origTrace, err := trace.Generate(r, trace.SinglePhase(r.OriginalSchedule()), gen)
+	if err != nil {
+		return Result{}, err
+	}
+	restrTrace, err := trace.Generate(r, trace.SinglePhase(sched), gen)
+	if err != nil {
+		return Result{}, err
+	}
+	runSim := func(reqs []trace.Request, pol sim.Policy) (float64, error) {
+		res, err := sim.Run(reqs, lay.PageDisk, sim.Config{
+			Model: model, NumDisks: lay.NumDisks(), Policy: pol,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Energy, nil
+	}
+	out := Result{
+		Candidate: c,
+		Runs:      core.Stats(sched, lay.NumDisks()).Runs,
+	}
+	if out.BaseEnergy, err = runSim(origTrace, sim.NoPM); err != nil {
+		return Result{}, err
+	}
+	if out.TTPMEnergy, err = runSim(restrTrace, sim.TPM); err != nil {
+		return Result{}, err
+	}
+	if out.TDRPMEnergy, err = runSim(restrTrace, sim.DRPM); err != nil {
+		return Result{}, err
+	}
+	return out, nil
+}
+
+// Optimize evaluates every candidate (DefaultCandidates when nil) and
+// returns the one with the lowest transformed energy, along with all
+// results in evaluation order.
+func Optimize(a apps.App, candidates []Candidate) (Result, []Result, error) {
+	if candidates == nil {
+		candidates = DefaultCandidates()
+	}
+	if len(candidates) == 0 {
+		return Result{}, nil, fmt.Errorf("layoutopt: no candidates")
+	}
+	var all []Result
+	best := -1
+	for _, c := range candidates {
+		r, err := Evaluate(a, c)
+		if err != nil {
+			return Result{}, nil, fmt.Errorf("layoutopt: %s under %s: %w", a.Name, c, err)
+		}
+		all = append(all, r)
+		if best < 0 || r.Best() < all[best].Best() {
+			best = len(all) - 1
+		}
+	}
+	return all[best], all, nil
+}
+
+// Report runs the optimizer for one application and writes a table of all
+// candidates with the winner marked.
+func Report(w io.Writer, a apps.App) error {
+	best, all, err := Optimize(a, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: unified layout + restructuring search\n", a.Name)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "Layout\tBase (J)\tT-TPM (J)\tT-DRPM (J)\tRuns\t")
+	for _, r := range all {
+		mark := ""
+		if r.Candidate == best.Candidate {
+			mark = "<== best"
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%d\t%s\n",
+			r.Candidate, r.BaseEnergy, r.TTPMEnergy, r.TDRPMEnergy, r.Runs, mark)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,111 @@
+package layoutopt
+
+import (
+	"strings"
+	"testing"
+
+	"diskreuse/internal/apps"
+)
+
+func TestEvaluateTiny(t *testing.T) {
+	a, err := apps.ByName("FFT", apps.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Evaluate(a, Candidate{Unit: 32 << 10, Factor: 4, Start: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BaseEnergy <= 0 || r.TTPMEnergy <= 0 || r.TDRPMEnergy <= 0 {
+		t.Fatalf("bad energies: %+v", r)
+	}
+	if r.Runs <= 0 {
+		t.Errorf("runs = %d", r.Runs)
+	}
+	if r.Best() > r.TTPMEnergy || r.Best() > r.TDRPMEnergy {
+		t.Errorf("Best() = %v not the minimum of %v/%v", r.Best(), r.TTPMEnergy, r.TDRPMEnergy)
+	}
+}
+
+func TestOptimizePicksMinimum(t *testing.T) {
+	a, err := apps.ByName("RSense", apps.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []Candidate{
+		{Unit: 32 << 10, Factor: 2},
+		{Unit: 32 << 10, Factor: 4},
+		{Unit: 64 << 10, Factor: 4},
+	}
+	best, all, err := Optimize(a, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(cands) {
+		t.Fatalf("evaluated %d of %d", len(all), len(cands))
+	}
+	for _, r := range all {
+		if best.Best() > r.Best() {
+			t.Errorf("best %v is worse than candidate %v", best, r)
+		}
+	}
+	if _, _, err := Optimize(a, []Candidate{}); err == nil {
+		t.Error("empty candidate list must fail")
+	}
+}
+
+func TestReport(t *testing.T) {
+	a, err := apps.ByName("Cholesky", apps.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Report(&b, a); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Cholesky", "unit=32KB factor=8", "<== best", "T-DRPM (J)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultCandidates(t *testing.T) {
+	cs := DefaultCandidates()
+	if len(cs) != 16 {
+		t.Fatalf("candidates = %d", len(cs))
+	}
+	seen := map[Candidate]bool{}
+	for _, c := range cs {
+		if seen[c] {
+			t.Fatalf("duplicate candidate %v", c)
+		}
+		seen[c] = true
+		if c.Unit < 16<<10 || c.Factor < 2 {
+			t.Errorf("implausible candidate %v", c)
+		}
+	}
+}
+
+func TestEvaluateRejectsBadCandidate(t *testing.T) {
+	a, err := apps.ByName("SCF", apps.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stripe unit below the page size is rejected by the layout.
+	if _, err := Evaluate(a, Candidate{Unit: 1 << 10, Factor: 2}); err == nil {
+		t.Error("sub-page stripe unit must fail")
+	}
+	// An Optimize run over a list containing a bad candidate fails loudly.
+	if _, _, err := Optimize(a, []Candidate{{Unit: 1 << 10, Factor: 2}}); err == nil {
+		t.Error("Optimize must propagate candidate errors")
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	c := Candidate{Unit: 64 << 10, Factor: 4, Start: 1}
+	if got := c.String(); got != "unit=64KB factor=4 start=1" {
+		t.Errorf("String = %q", got)
+	}
+}

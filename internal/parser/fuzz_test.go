@@ -1,0 +1,50 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"diskreuse/internal/sema"
+)
+
+// FuzzParse drives the whole front end with arbitrary input: the parser
+// must never panic, and any program it accepts must either be rejected by
+// semantic analysis or survive a print/reparse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		figure2Src,
+		"param N = 4\narray A[N]\nnest L { for i = 0 to N-1 { read A[i]; } }",
+		"array A[4] elem 4096 stripe(unit=32K, factor=8, start=1) file \"a\"\nnest L { for i = 0 to 3 { A[i] = A[i] + 1; } }",
+		"array A[8][8]\nnest L { for i = 0 to 7 { for j = i to 7 { A[i][j] = A[j][i]; } } }",
+		"# comment\nparam K = 1K\narray A[K]\nnest L { for i = 0 to 1023 step 2 { read A[i]; } }",
+		"nest L {",
+		"array A[0]",
+		"param = 3",
+		strings.Repeat("param N = 1\n", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		lowered, err := sema.Analyze(prog, sema.Options{})
+		if err != nil {
+			return
+		}
+		_ = lowered
+		// Accepted programs must print and reparse to an equivalent form.
+		printed := prog.String()
+		prog2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of accepted program failed: %v\n--- printed ---\n%s\n--- original ---\n%s",
+				err, printed, src)
+		}
+		if prog2.String() != printed {
+			t.Fatalf("print/reparse not a fixed point:\n--- first ---\n%s\n--- second ---\n%s",
+				printed, prog2.String())
+		}
+	})
+}

@@ -1,0 +1,485 @@
+// Package parser builds ast.Program values from DRL source text.
+//
+// The grammar (EBNF, '#' comments to end of line):
+//
+//	program   = { paramDecl | arrayDecl | nestDecl } .
+//	paramDecl = "param" IDENT "=" affExpr .                 // must be constant
+//	arrayDecl = "array" IDENT { "[" affExpr "]" }
+//	            [ "elem" INT ] [ stripeSpec ] [ "file" STRING ] .
+//	stripeSpec= "stripe" "(" "unit" "=" INT ","
+//	            "factor" "=" INT "," "start" "=" INT ")" .
+//	nestDecl  = "nest" IDENT "{" loop "}" .
+//	loop      = "for" IDENT "=" affExpr "to" affExpr [ "step" INT ]
+//	            "{" { loop | stmt } "}" .
+//	stmt      = ref "=" rhs ";" | "read" ref ";" .
+//	rhs       = rhsTerm { ("+"|"-") rhsTerm } .
+//	rhsTerm   = [ INT "*" ] ( ref | IDENT | INT ) .
+//	ref       = IDENT "[" affExpr "]" { "[" affExpr "]" } .
+//	affExpr   = [ "-" ] affTerm { ("+"|"-") affTerm } .
+//	affTerm   = affFactor { "*" affFactor } .               // affine: ≤1 variable factor
+//	affFactor = INT | IDENT | "(" affExpr ")" .
+//
+// Expressions are required to be affine; a product of two variable
+// subexpressions is a parse error.
+package parser
+
+import (
+	"fmt"
+
+	"diskreuse/internal/affine"
+	"diskreuse/internal/ast"
+	"diskreuse/internal/scan"
+)
+
+// Error is a parse error with a source position.
+type Error struct {
+	Pos scan.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []scan.Token
+	pos  int
+	// params holds the values of parameters declared so far. Because a
+	// param must be declared before use, the parser folds parameter names
+	// to constants on the spot, which lets expressions like i*N stay
+	// affine.
+	params map[string]int64
+}
+
+// Parse parses a complete DRL program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := scan.All(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, params: map[string]int64{}}
+	return p.program()
+}
+
+func (p *parser) cur() scan.Token  { return p.toks[p.pos] }
+func (p *parser) next() scan.Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errorf(pos scan.Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k scan.Kind) (scan.Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, p.errorf(t.Pos, "expected %s, found %s", k, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) program() (*ast.Program, error) {
+	prog := &ast.Program{}
+	for {
+		switch t := p.cur(); t.Kind {
+		case scan.EOF:
+			return prog, nil
+		case scan.PARAM:
+			d, err := p.paramDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Params = append(prog.Params, d)
+		case scan.ARRAY:
+			d, err := p.arrayDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Arrays = append(prog.Arrays, d)
+		case scan.NEST:
+			d, err := p.nestDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Nests = append(prog.Nests, d)
+		default:
+			return nil, p.errorf(t.Pos, "expected declaration (param, array, or nest), found %s", t)
+		}
+	}
+}
+
+func (p *parser) paramDecl() (*ast.Param, error) {
+	kw := p.next() // param
+	name, err := p.expect(scan.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(scan.ASSIGN); err != nil {
+		return nil, err
+	}
+	e, err := p.affExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !e.IsConst() {
+		return nil, p.errorf(kw.Pos, "param %s must have a constant value, got %s", name.Text, e)
+	}
+	if _, dup := p.params[name.Text]; dup {
+		return nil, p.errorf(kw.Pos, "duplicate param %s", name.Text)
+	}
+	p.params[name.Text] = e.Const
+	return &ast.Param{Name: name.Text, Value: e.Const, Pos: kw.Pos}, nil
+}
+
+func (p *parser) arrayDecl() (*ast.Array, error) {
+	kw := p.next() // array
+	name, err := p.expect(scan.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	a := &ast.Array{Name: name.Text, ElemSize: 8, Pos: kw.Pos}
+	for p.cur().Kind == scan.LBRACK {
+		p.next()
+		e, err := p.affExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(scan.RBRACK); err != nil {
+			return nil, err
+		}
+		a.Dims = append(a.Dims, e)
+	}
+	if len(a.Dims) == 0 {
+		return nil, p.errorf(kw.Pos, "array %s needs at least one dimension", a.Name)
+	}
+	if p.cur().Kind == scan.ELEM {
+		p.next()
+		sz, err := p.expect(scan.INT)
+		if err != nil {
+			return nil, err
+		}
+		if sz.Val <= 0 {
+			return nil, p.errorf(sz.Pos, "elem size must be positive, got %d", sz.Val)
+		}
+		a.ElemSize = sz.Val
+	}
+	if p.cur().Kind == scan.STRIPE {
+		spec, err := p.stripeSpec()
+		if err != nil {
+			return nil, err
+		}
+		a.Stripe = spec
+	}
+	if p.cur().Kind == scan.FILEKW {
+		p.next()
+		f, err := p.expect(scan.STRING)
+		if err != nil {
+			return nil, err
+		}
+		a.File = f.Text
+	} else {
+		a.File = a.Name + ".dat"
+	}
+	return a, nil
+}
+
+func (p *parser) stripeSpec() (*ast.StripeSpec, error) {
+	p.next() // stripe
+	if _, err := p.expect(scan.LPAREN); err != nil {
+		return nil, err
+	}
+	spec := &ast.StripeSpec{}
+	readField := func(kw scan.Kind) (int64, error) {
+		if _, err := p.expect(kw); err != nil {
+			return 0, err
+		}
+		if _, err := p.expect(scan.ASSIGN); err != nil {
+			return 0, err
+		}
+		v, err := p.expect(scan.INT)
+		if err != nil {
+			return 0, err
+		}
+		return v.Val, nil
+	}
+	unit, err := readField(scan.UNIT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(scan.COMMA); err != nil {
+		return nil, err
+	}
+	factor, err := readField(scan.FACTOR)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(scan.COMMA); err != nil {
+		return nil, err
+	}
+	start, err := readField(scan.START)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(scan.RPAREN); err != nil {
+		return nil, err
+	}
+	spec.Unit = unit
+	spec.Factor = int(factor)
+	spec.Start = int(start)
+	if spec.Unit <= 0 || spec.Factor <= 0 || spec.Start < 0 {
+		return nil, p.errorf(p.cur().Pos, "invalid stripe spec %s", spec)
+	}
+	return spec, nil
+}
+
+func (p *parser) nestDecl() (*ast.Nest, error) {
+	kw := p.next() // nest
+	name, err := p.expect(scan.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(scan.LBRACE); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != scan.FOR {
+		return nil, p.errorf(p.cur().Pos, "nest %s must contain a for-loop", name.Text)
+	}
+	loop, err := p.loop()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(scan.RBRACE); err != nil {
+		return nil, err
+	}
+	return &ast.Nest{Name: name.Text, Loop: loop, Pos: kw.Pos}, nil
+}
+
+func (p *parser) loop() (*ast.Loop, error) {
+	kw := p.next() // for
+	v, err := p.expect(scan.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(scan.ASSIGN); err != nil {
+		return nil, err
+	}
+	lo, err := p.affExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(scan.TO); err != nil {
+		return nil, err
+	}
+	hi, err := p.affExpr()
+	if err != nil {
+		return nil, err
+	}
+	step := int64(1)
+	if p.cur().Kind == scan.STEP {
+		p.next()
+		s, err := p.expect(scan.INT)
+		if err != nil {
+			return nil, err
+		}
+		if s.Val <= 0 {
+			return nil, p.errorf(s.Pos, "loop step must be positive, got %d", s.Val)
+		}
+		step = s.Val
+	}
+	if _, err := p.expect(scan.LBRACE); err != nil {
+		return nil, err
+	}
+	l := &ast.Loop{Var: v.Text, Lo: lo, Hi: hi, Step: step, Pos: kw.Pos}
+	for p.cur().Kind != scan.RBRACE {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		l.Body = append(l.Body, s)
+	}
+	p.next() // }
+	return l, nil
+}
+
+func (p *parser) stmt() (ast.Stmt, error) {
+	switch t := p.cur(); t.Kind {
+	case scan.FOR:
+		return p.loop()
+	case scan.READ:
+		p.next()
+		r, err := p.ref()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(scan.SEMI); err != nil {
+			return nil, err
+		}
+		return &ast.ReadStmt{Ref: r, Pos: t.Pos}, nil
+	case scan.IDENT:
+		lhs, err := p.ref()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(scan.ASSIGN); err != nil {
+			return nil, err
+		}
+		rhs, err := p.rhs()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(scan.SEMI); err != nil {
+			return nil, err
+		}
+		return &ast.Assign{LHS: lhs, RHS: rhs, Pos: t.Pos}, nil
+	default:
+		return nil, p.errorf(t.Pos, "expected statement, found %s", t)
+	}
+}
+
+// rhs parses the right-hand side of an assignment and returns the array
+// references it reads, in source order. Scalar terms (constants, iterator
+// or parameter uses) are accepted and discarded: they touch no disk data.
+func (p *parser) rhs() ([]*ast.Ref, error) {
+	var refs []*ast.Ref
+	for {
+		// Optional "INT *" scaling prefix.
+		if p.cur().Kind == scan.INT && p.toks[p.pos+1].Kind == scan.STAR {
+			p.next()
+			p.next()
+		}
+		switch t := p.cur(); t.Kind {
+		case scan.IDENT:
+			if p.toks[p.pos+1].Kind == scan.LBRACK {
+				r, err := p.ref()
+				if err != nil {
+					return nil, err
+				}
+				refs = append(refs, r)
+			} else {
+				p.next() // scalar use of iterator/param
+			}
+		case scan.INT:
+			p.next()
+		default:
+			return nil, p.errorf(t.Pos, "expected operand in expression, found %s", t)
+		}
+		switch p.cur().Kind {
+		case scan.PLUS, scan.MINUS, scan.STAR:
+			p.next()
+		default:
+			return refs, nil
+		}
+	}
+}
+
+func (p *parser) ref() (*ast.Ref, error) {
+	name, err := p.expect(scan.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	r := &ast.Ref{Array: name.Text, Pos: name.Pos}
+	if p.cur().Kind != scan.LBRACK {
+		return nil, p.errorf(p.cur().Pos, "array reference %s needs subscripts", name.Text)
+	}
+	for p.cur().Kind == scan.LBRACK {
+		p.next()
+		e, err := p.affExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(scan.RBRACK); err != nil {
+			return nil, err
+		}
+		r.Subs = append(r.Subs, e)
+	}
+	return r, nil
+}
+
+// affExpr parses an affine expression over iterators and parameters.
+func (p *parser) affExpr() (affine.Expr, error) {
+	neg := false
+	if p.cur().Kind == scan.MINUS {
+		p.next()
+		neg = true
+	}
+	e, err := p.affTerm()
+	if err != nil {
+		return affine.Expr{}, err
+	}
+	if neg {
+		e = e.Neg()
+	}
+	for {
+		switch p.cur().Kind {
+		case scan.PLUS:
+			p.next()
+			t, err := p.affTerm()
+			if err != nil {
+				return affine.Expr{}, err
+			}
+			e = e.Add(t)
+		case scan.MINUS:
+			p.next()
+			t, err := p.affTerm()
+			if err != nil {
+				return affine.Expr{}, err
+			}
+			e = e.Sub(t)
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) affTerm() (affine.Expr, error) {
+	e, err := p.affFactor()
+	if err != nil {
+		return affine.Expr{}, err
+	}
+	for p.cur().Kind == scan.STAR {
+		star := p.next()
+		f, err := p.affFactor()
+		if err != nil {
+			return affine.Expr{}, err
+		}
+		switch {
+		case f.IsConst():
+			e = e.Scale(f.Const)
+		case e.IsConst():
+			e = f.Scale(e.Const)
+		default:
+			return affine.Expr{}, p.errorf(star.Pos, "non-affine product %s * %s", e, f)
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) affFactor() (affine.Expr, error) {
+	switch t := p.cur(); t.Kind {
+	case scan.INT:
+		p.next()
+		return affine.Constant(t.Val), nil
+	case scan.IDENT:
+		p.next()
+		if v, ok := p.params[t.Text]; ok {
+			return affine.Constant(v), nil
+		}
+		return affine.Var(t.Text), nil
+	case scan.MINUS:
+		p.next()
+		f, err := p.affFactor()
+		if err != nil {
+			return affine.Expr{}, err
+		}
+		return f.Neg(), nil
+	case scan.LPAREN:
+		p.next()
+		e, err := p.affExpr()
+		if err != nil {
+			return affine.Expr{}, err
+		}
+		if _, err := p.expect(scan.RPAREN); err != nil {
+			return affine.Expr{}, err
+		}
+		return e, nil
+	default:
+		return affine.Expr{}, p.errorf(t.Pos, "expected expression, found %s", t)
+	}
+}

@@ -1,0 +1,275 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"diskreuse/internal/affine"
+	"diskreuse/internal/ast"
+)
+
+const figure2Src = `
+# The code fragment of Figure 2(a) of the paper: three nests over two
+# disk-resident arrays with entirely different access patterns.
+param N = 64
+param K = 8
+
+array U1[2*N][2*N] stripe(unit=32K, factor=4, start=0)
+array U2[2*N][2*N] stripe(unit=32K, factor=4, start=0)
+
+nest L1 {
+  for i = 0 to N-1 {
+    for j = 0 to N-1 {
+      U1[i][j] = U1[i][j] + 1;
+    }
+  }
+}
+
+nest L2 {
+  for i = 0 to N-1 {
+    for j = 0 to N-1 {
+      U2[i][j] = U1[2*i][2*j] + U1[2*i][2*j+1];
+    }
+  }
+}
+
+nest L3 {
+  for i = 0 to N-1 {
+    for j = 0 to N-1 {
+      read U2[i+N][j+N];
+    }
+  }
+}
+`
+
+func TestParseFigure2(t *testing.T) {
+	prog, err := Parse(figure2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Params) != 2 || len(prog.Arrays) != 2 || len(prog.Nests) != 3 {
+		t.Fatalf("counts: params=%d arrays=%d nests=%d", len(prog.Params), len(prog.Arrays), len(prog.Nests))
+	}
+	if v, ok := prog.LookupParam("N"); !ok || v != 64 {
+		t.Errorf("param N = %d,%v", v, ok)
+	}
+	u1 := prog.LookupArray("U1")
+	if u1 == nil {
+		t.Fatal("U1 not found")
+	}
+	// Params fold to constants at parse time: 2*N = 128.
+	wantDim := affine.Constant(128)
+	if !u1.Dims[0].Equal(wantDim) || !u1.Dims[1].Equal(wantDim) {
+		t.Errorf("U1 dims = %v, %v; want 128", u1.Dims[0], u1.Dims[1])
+	}
+	if u1.Stripe == nil || u1.Stripe.Unit != 32768 || u1.Stripe.Factor != 4 || u1.Stripe.Start != 0 {
+		t.Errorf("U1 stripe = %+v", u1.Stripe)
+	}
+	if u1.File != "U1.dat" {
+		t.Errorf("U1 file = %q, want default", u1.File)
+	}
+
+	l2 := prog.Nests[1]
+	if l2.Name != "L2" {
+		t.Errorf("nest name = %q", l2.Name)
+	}
+	if got := l2.Loop.Depth(); got != 2 {
+		t.Errorf("L2 depth = %d", got)
+	}
+	if got := l2.Loop.Iterators(); len(got) != 2 || got[0] != "i" || got[1] != "j" {
+		t.Errorf("L2 iterators = %v", got)
+	}
+	inner := l2.Loop.Body[0].(*ast.Loop)
+	asg := inner.Body[0].(*ast.Assign)
+	if asg.LHS.Array != "U2" || len(asg.RHS) != 2 {
+		t.Errorf("L2 stmt = %v = %v", asg.LHS, asg.RHS)
+	}
+	// U1[2*i][2*j+1]
+	r := asg.RHS[1]
+	if !r.Subs[0].Equal(affine.Term("i", 2)) {
+		t.Errorf("sub0 = %v", r.Subs[0])
+	}
+	if !r.Subs[1].Equal(affine.Term("j", 2).AddConst(1)) {
+		t.Errorf("sub1 = %v", r.Subs[1])
+	}
+
+	names := l2.ArrayNames()
+	if len(names) != 2 || names[0] != "U2" || names[1] != "U1" {
+		t.Errorf("ArrayNames = %v", names)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	prog, err := Parse(figure2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := prog.String()
+	prog2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nsource:\n%s", err, text)
+	}
+	if prog2.String() != text {
+		t.Errorf("round-trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text, prog2.String())
+	}
+}
+
+func TestParseStepAndElem(t *testing.T) {
+	src := `
+array A[100] elem 4 stripe(unit=1K, factor=2, start=1) file "a.bin"
+nest L {
+  for i = 0 to 99 step 2 {
+    read A[i];
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := prog.Arrays[0]
+	if a.ElemSize != 4 || a.File != "a.bin" || a.Stripe.Unit != 1024 {
+		t.Errorf("array = %+v stripe=%+v", a, a.Stripe)
+	}
+	if prog.Nests[0].Loop.Step != 2 {
+		t.Errorf("step = %d", prog.Nests[0].Loop.Step)
+	}
+}
+
+func TestParseScalarRHSTerms(t *testing.T) {
+	src := `
+param N = 4
+array A[N][N]
+nest L {
+  for i = 0 to N-1 {
+    for j = 0 to N-1 {
+      A[i][j] = 2*A[j][i] + i + 3;
+    }
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := prog.Nests[0].Loop.Body[0].(*ast.Loop)
+	asg := inner.Body[0].(*ast.Assign)
+	if len(asg.RHS) != 1 || asg.RHS[0].Array != "A" {
+		t.Errorf("RHS refs = %v", asg.RHS)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSubstr string
+	}{
+		{"param N = i", "constant"},
+		{"array A", "dimension"},
+		{"array A[4] nest L { for i = 0 to 3 { A[i*i] = 1; } }", "non-affine"},
+		{"nest L { read A[0]; }", "for-loop"},
+		{"array A[4] nest L { for i = 0 to 3 step 0 { read A[i]; } }", "positive"},
+		{"array A[4] nest L { for i = 0 to 3 { A = 1; } }", "subscripts"},
+		{"array A[4] elem 0", "positive"},
+		{"array A[4] stripe(unit=0, factor=2, start=0)", "invalid stripe"},
+		{"bogus", "declaration"},
+		{"nest L { for i = 0 to 3 { ", "statement"},
+		{"param N = 1 param N = 2", "duplicate param"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSubstr) {
+			t.Errorf("Parse(%q) error %q, want substring %q", c.src, err, c.wantSubstr)
+		}
+	}
+}
+
+func TestParseNegativeBounds(t *testing.T) {
+	src := `
+param N = 4
+array A[N]
+nest L {
+  for i = -2 to N-1 {
+    read A[i+2];
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := prog.Nests[0].Loop.Lo
+	if !lo.Equal(affine.Constant(-2)) {
+		t.Errorf("lo = %v", lo)
+	}
+}
+
+func TestParseParenthesizedAffine(t *testing.T) {
+	src := `
+param N = 8
+array A[4*N]
+nest L {
+  for i = 0 to N-1 {
+    read A[2*(i+1) - (N - i)];
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := prog.Nests[0].Loop
+	r := inner.Body[0].(*ast.ReadStmt).Ref
+	// 2*(i+1) - (N - i) = 3i - N + 2 = 3i - 6 with N = 8 folded.
+	want := affine.Term("i", 3).AddConst(-6)
+	if !r.Subs[0].Equal(want) {
+		t.Errorf("subscript = %v, want %v", r.Subs[0], want)
+	}
+}
+
+func TestParseUnaryMinusFactor(t *testing.T) {
+	src := `
+array A[64]
+nest L {
+  for i = 0 to 9 {
+    read A[2 * -i + 40];
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.Nests[0].Loop.Body[0].(*ast.ReadStmt).Ref
+	want := affine.Term("i", -2).AddConst(40)
+	if !r.Subs[0].Equal(want) {
+		t.Errorf("subscript = %v, want %v", r.Subs[0], want)
+	}
+}
+
+func TestParseMoreErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"array A[4] nest L { for i = 0 to 3 { read A[(i]; } }", "expected )"},
+		{"array A[4] nest L { for i = 0 to 3 { read A[]; } }", "expected expression"},
+		{"array A[4] nest L { for i = 0 to 3 { A[i] = ;; } }", "expected operand"},
+		{"array A[4] nest L { for i = 0 to 3 { read A[i] } }", "expected ;"},
+		{"array A[i*j]", "non-affine"},
+		{"array A[4] stripe(unit=4K factor=2, start=0)", "expected ,"},
+		{"array A[4] elem x", "expected integer"},
+		{"param N", "expected ="},
+		{"nest 5 { }", "expected identifier"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diskreuse/internal/disk"
+)
+
+func TestQuadraticIdlePower(t *testing.T) {
+	m := disk.Ultrastar36Z15()
+	// Anchors: full speed reproduces the data sheet; the speed-independent
+	// floor is the standby power.
+	if got := IdlePowerAt(m, 15000); math.Abs(got-10.2) > 1e-9 {
+		t.Errorf("P_idle(15000) = %v, want 10.2", got)
+	}
+	// At 3000 RPM (1/5 speed): 2.5 + 7.7/25 = 2.808 W.
+	if got := IdlePowerAt(m, 3000); math.Abs(got-2.808) > 1e-9 {
+		t.Errorf("P_idle(3000) = %v, want 2.808", got)
+	}
+	// Monotone in RPM.
+	prev := 0.0
+	for _, r := range m.Levels() {
+		p := IdlePowerAt(m, r)
+		if p <= prev {
+			t.Errorf("idle power not increasing at %d RPM", r)
+		}
+		prev = p
+	}
+	// rpm<=0 treated as full speed.
+	if IdlePowerAt(m, 0) != IdlePowerAt(m, 15000) {
+		t.Error("rpm 0 should mean full speed")
+	}
+}
+
+func TestActivePowerDelta(t *testing.T) {
+	m := disk.Ultrastar36Z15()
+	if got := ActivePowerAt(m, 15000); math.Abs(got-13.5) > 1e-9 {
+		t.Errorf("P_active(15000) = %v, want 13.5", got)
+	}
+	// The activity delta is constant across speeds.
+	for _, r := range m.Levels() {
+		if d := ActivePowerAt(m, r) - IdlePowerAt(m, r); math.Abs(d-3.3) > 1e-9 {
+			t.Errorf("active delta at %d = %v", r, d)
+		}
+	}
+}
+
+func TestShiftCosts(t *testing.T) {
+	m := disk.Ultrastar36Z15()
+	// Full-range up-shift equals the data-sheet spin-up cost.
+	if got := ShiftTime(m, 3000, 15000); math.Abs(got-10.9*0.8) > 1e-9 {
+		t.Errorf("shift time 3000->15000 = %v", got)
+	}
+	if got := ShiftEnergy(m, 0, 15000); math.Abs(got-135) > 1e-9 {
+		t.Errorf("shift energy 0->15000 = %v", got)
+	}
+	if ShiftTime(m, 6000, 6000) != 0 || ShiftEnergy(m, 6000, 6000) != 0 {
+		t.Error("no-op shift must be free")
+	}
+	// Down-shifts use spin-down costs.
+	if got := ShiftEnergy(m, 15000, 12000); math.Abs(got-13.0*0.2) > 1e-9 {
+		t.Errorf("down-shift energy = %v", got)
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	m := disk.Ultrastar36Z15()
+	e := NewMeter(m)
+	e.Active(2, 15000) // 2s × 13.5 = 27 J
+	e.Idle(10, 15000)  // 10 × 10.2 = 102 J
+	e.Standby(4)       // 4 × 2.5 = 10 J
+	e.SpinDown()       // 13 J, 1.5 s
+	e.SpinUp()         // 135 J, 10.9 s
+	e.Shift(15000, 12000)
+	want := 27 + 102 + 10 + 13 + 135 + 13.0*0.2
+	if math.Abs(e.Total()-want) > 1e-9 {
+		t.Errorf("Total = %v, want %v", e.Total(), want)
+	}
+	if e.SpinUps != 1 || e.SpinDowns != 1 || e.SpeedShifts != 1 {
+		t.Errorf("transition counts: %+v", e)
+	}
+	wantTime := 2.0 + 10 + 4 + 1.5 + 10.9 + 1.5*0.2
+	if math.Abs(e.TotalTime()-wantTime) > 1e-9 {
+		t.Errorf("TotalTime = %v, want %v", e.TotalTime(), wantTime)
+	}
+	// Negative/zero durations are ignored.
+	before := e.Total()
+	e.Active(-1, 15000)
+	e.Idle(0, 15000)
+	e.Standby(-5)
+	if e.Total() != before {
+		t.Error("non-positive durations must not charge energy")
+	}
+}
+
+// Property: the meter's total is always the sum of its components, and
+// energy is monotone under any sequence of charges.
+func TestQuickMeterMonotone(t *testing.T) {
+	m := disk.Ultrastar36Z15()
+	f := func(act, idl, stb uint8, rpmSel uint8) bool {
+		e := NewMeter(m)
+		levels := m.Levels()
+		rpm := levels[int(rpmSel)%len(levels)]
+		prev := 0.0
+		e.Active(float64(act)/10, rpm)
+		if e.Total() < prev {
+			return false
+		}
+		prev = e.Total()
+		e.Idle(float64(idl)/10, rpm)
+		if e.Total() < prev {
+			return false
+		}
+		prev = e.Total()
+		e.Standby(float64(stb) / 10)
+		if e.Total() < prev {
+			return false
+		}
+		sum := e.ActiveEnergy + e.IdleEnergy + e.StandbyEnergy + e.TransitionEnergy
+		return math.Abs(sum-e.Total()) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: idle power at any level is between standby and full idle.
+func TestQuickIdlePowerBounds(t *testing.T) {
+	m := disk.Ultrastar36Z15()
+	for _, r := range m.Levels() {
+		p := IdlePowerAt(m, r)
+		if p < m.PowerStandby || p > m.PowerIdle {
+			t.Errorf("P_idle(%d) = %v out of [%v, %v]", r, p, m.PowerStandby, m.PowerIdle)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package scan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Scanner turns DRL source text into a stream of tokens. Comments run from
+// '#' or '//' to end of line. Integer literals accept K, M, and G binary
+// suffixes (32K == 32768).
+type Scanner struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a Scanner over src.
+func New(src string) *Scanner {
+	return &Scanner{src: []rune(src), line: 1, col: 1}
+}
+
+// Error is a scan error with its source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (s *Scanner) errorf(p Pos, format string, args ...interface{}) error {
+	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Scanner) peek() rune {
+	if s.pos >= len(s.src) {
+		return 0
+	}
+	return s.src[s.pos]
+}
+
+func (s *Scanner) peek2() rune {
+	if s.pos+1 >= len(s.src) {
+		return 0
+	}
+	return s.src[s.pos+1]
+}
+
+func (s *Scanner) advance() rune {
+	r := s.src[s.pos]
+	s.pos++
+	if r == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	return r
+}
+
+func (s *Scanner) skipSpaceAndComments() {
+	for s.pos < len(s.src) {
+		r := s.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			s.advance()
+		case r == '#':
+			for s.pos < len(s.src) && s.peek() != '\n' {
+				s.advance()
+			}
+		case r == '/' && s.peek2() == '/':
+			for s.pos < len(s.src) && s.peek() != '\n' {
+				s.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Next returns the next token, or an error on malformed input. At end of
+// input it returns an EOF token.
+func (s *Scanner) Next() (Token, error) {
+	s.skipSpaceAndComments()
+	start := Pos{Line: s.line, Col: s.col}
+	if s.pos >= len(s.src) {
+		return Token{Kind: EOF, Pos: start}, nil
+	}
+	r := s.peek()
+	switch {
+	case isIdentStart(r):
+		var b strings.Builder
+		for s.pos < len(s.src) && isIdentPart(s.peek()) {
+			b.WriteRune(s.advance())
+		}
+		text := b.String()
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: start}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: start}, nil
+
+	case unicode.IsDigit(r):
+		var b strings.Builder
+		for s.pos < len(s.src) && unicode.IsDigit(s.peek()) {
+			b.WriteRune(s.advance())
+		}
+		v, err := strconv.ParseInt(b.String(), 10, 64)
+		if err != nil {
+			return Token{}, s.errorf(start, "bad integer literal %q: %v", b.String(), err)
+		}
+		// Optional binary size suffix.
+		switch s.peek() {
+		case 'K', 'k':
+			s.advance()
+			v <<= 10
+		case 'M', 'm':
+			s.advance()
+			v <<= 20
+		case 'G', 'g':
+			s.advance()
+			v <<= 30
+		}
+		if s.pos < len(s.src) && isIdentPart(s.peek()) {
+			return Token{}, s.errorf(start, "malformed number: unexpected %q after literal", s.peek())
+		}
+		return Token{Kind: INT, Val: v, Pos: start}, nil
+
+	case r == '"':
+		s.advance()
+		var b strings.Builder
+		for {
+			if s.pos >= len(s.src) {
+				return Token{}, s.errorf(start, "unterminated string literal")
+			}
+			c := s.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\n' {
+				return Token{}, s.errorf(start, "newline in string literal")
+			}
+			b.WriteRune(c)
+		}
+		return Token{Kind: STRING, Text: b.String(), Pos: start}, nil
+	}
+
+	s.advance()
+	var k Kind
+	switch r {
+	case '=':
+		k = ASSIGN
+	case '[':
+		k = LBRACK
+	case ']':
+		k = RBRACK
+	case '(':
+		k = LPAREN
+	case ')':
+		k = RPAREN
+	case '{':
+		k = LBRACE
+	case '}':
+		k = RBRACE
+	case ',':
+		k = COMMA
+	case ';':
+		k = SEMI
+	case '+':
+		k = PLUS
+	case '-':
+		k = MINUS
+	case '*':
+		k = STAR
+	default:
+		return Token{}, s.errorf(start, "unexpected character %q", r)
+	}
+	return Token{Kind: k, Text: string(r), Pos: start}, nil
+}
+
+// All scans the entire input and returns every token including the final
+// EOF, or the first error encountered.
+func All(src string) ([]Token, error) {
+	sc := New(src)
+	var toks []Token
+	for {
+		t, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

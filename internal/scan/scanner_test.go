@@ -1,0 +1,131 @@
+package scan
+
+import (
+	"strings"
+	"testing"
+)
+
+func kindsOf(toks []Token) []Kind {
+	ks := make([]Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestScanBasicProgram(t *testing.T) {
+	src := `
+param N = 8
+array U1[N][N] stripe(unit=32K, factor=4, start=0) file "u1.dat"
+nest L1 {
+  for i = 0 to N-1 {
+    U1[i][i] = U1[i][i] + 1;
+  }
+}
+`
+	toks, err := All(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{
+		PARAM, IDENT, ASSIGN, INT,
+		ARRAY, IDENT, LBRACK, IDENT, RBRACK, LBRACK, IDENT, RBRACK,
+		STRIPE, LPAREN, UNIT, ASSIGN, INT, COMMA, FACTOR, ASSIGN, INT, COMMA, START, ASSIGN, INT, RPAREN,
+		FILEKW, STRING,
+		NEST, IDENT, LBRACE,
+		FOR, IDENT, ASSIGN, INT, TO, IDENT, MINUS, INT, LBRACE,
+		IDENT, LBRACK, IDENT, RBRACK, LBRACK, IDENT, RBRACK, ASSIGN,
+		IDENT, LBRACK, IDENT, RBRACK, LBRACK, IDENT, RBRACK, PLUS, INT, SEMI,
+		RBRACE, RBRACE, EOF,
+	}
+	got := kindsOf(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d\ngot: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (token %v)", i, got[i], want[i], toks[i])
+		}
+	}
+}
+
+func TestScanSizeSuffixes(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"32K", 32768},
+		{"2M", 2 << 20},
+		{"1G", 1 << 30},
+		{"7", 7},
+	}
+	for _, c := range cases {
+		toks, err := All(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if toks[0].Kind != INT || toks[0].Val != c.want {
+			t.Errorf("%s scanned to %v, want int(%d)", c.src, toks[0], c.want)
+		}
+	}
+}
+
+func TestScanComments(t *testing.T) {
+	src := "param N = 4 # trailing comment\n// whole-line comment\nparam M = 5"
+	toks, err := All(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 9 { // param N = 4 param M = 5 EOF
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+}
+
+func TestScanPositions(t *testing.T) {
+	toks, err := All("param\n  N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("param pos = %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("N pos = %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		"@",
+		"123abc",
+		"\"newline\nin string\"",
+	}
+	for _, src := range cases {
+		if _, err := All(src); err == nil {
+			t.Errorf("All(%q) should fail", src)
+		} else if !strings.Contains(err.Error(), ":") {
+			t.Errorf("error %q lacks position", err)
+		}
+	}
+}
+
+func TestScanString(t *testing.T) {
+	toks, err := All(`file "data/u 1.dat"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != STRING || toks[1].Text != "data/u 1.dat" {
+		t.Errorf("string token = %v", toks[1])
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := All(`x 5 "s" =`)
+	wants := []string{`ident(x)`, `int(5)`, `string("s")`, `=`, `EOF`}
+	for i, w := range wants {
+		if got := toks[i].String(); got != w {
+			t.Errorf("token %d String() = %q, want %q", i, got, w)
+		}
+	}
+}

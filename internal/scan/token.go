@@ -1,0 +1,131 @@
+// Package scan tokenizes DRL ("disk-resident loops") source text, the small
+// loop-nest language this project uses as its compiler front-end in place of
+// the paper's SUIF infrastructure. DRL programs declare symbolic parameters,
+// disk-resident arrays with striping clauses, and nests of for-loops whose
+// bodies read and write array elements through affine subscripts.
+package scan
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT    // integer literal, with optional K/M/G suffix
+	STRING // double-quoted string literal
+
+	// Keywords.
+	PARAM
+	ARRAY
+	NEST
+	FOR
+	TO
+	STEP
+	STRIPE
+	UNIT
+	FACTOR
+	START
+	FILEKW
+	ELEM
+	READ
+
+	// Punctuation and operators.
+	ASSIGN // =
+	LBRACK // [
+	RBRACK // ]
+	LPAREN // (
+	RPAREN // )
+	LBRACE // {
+	RBRACE // }
+	COMMA  // ,
+	SEMI   // ;
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+)
+
+var kindNames = map[Kind]string{
+	EOF:    "EOF",
+	IDENT:  "identifier",
+	INT:    "integer",
+	STRING: "string",
+	PARAM:  "param",
+	ARRAY:  "array",
+	NEST:   "nest",
+	FOR:    "for",
+	TO:     "to",
+	STEP:   "step",
+	STRIPE: "stripe",
+	UNIT:   "unit",
+	FACTOR: "factor",
+	START:  "start",
+	FILEKW: "file",
+	ELEM:   "elem",
+	READ:   "read",
+	ASSIGN: "=",
+	LBRACK: "[",
+	RBRACK: "]",
+	LPAREN: "(",
+	RPAREN: ")",
+	LBRACE: "{",
+	RBRACE: "}",
+	COMMA:  ",",
+	SEMI:   ";",
+	PLUS:   "+",
+	MINUS:  "-",
+	STAR:   "*",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"param":  PARAM,
+	"array":  ARRAY,
+	"nest":   NEST,
+	"for":    FOR,
+	"to":     TO,
+	"step":   STEP,
+	"stripe": STRIPE,
+	"unit":   UNIT,
+	"factor": FACTOR,
+	"start":  START,
+	"file":   FILEKW,
+	"elem":   ELEM,
+	"read":   READ,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string // raw text for IDENT; unquoted value for STRING
+	Val  int64  // value for INT (size suffixes applied)
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("ident(%s)", t.Text)
+	case INT:
+		return fmt.Sprintf("int(%d)", t.Val)
+	case STRING:
+		return fmt.Sprintf("string(%q)", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,762 @@
+// Package sim is the trace-driven disk power simulator of §7.1: it replays
+// an I/O request trace against a bank of simulated disks (one per I/O
+// node), applies a power-management policy — none, TPM spin-down, or DRPM
+// dynamic speed-setting — and reports disk energy and disk I/O time.
+//
+// Policies:
+//
+//   - NoPM: the disk idles at full speed between requests. This is the
+//     "Base" version all paper numbers are normalized to.
+//   - TPM (traditional power management, Douglis et al. [12]): after the
+//     break-even threshold of idleness the disk spins down; the next
+//     request pays the spin-up latency and energy.
+//   - DRPM (dynamic RPM, Gurumurthi et al. [13]): the disk steps its
+//     rotational speed down one level at a time while idle, bounded below
+//     by a floor the controller adjusts per n-request window based on the
+//     observed average response time versus the full-speed estimate.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"diskreuse/internal/disk"
+	"diskreuse/internal/power"
+	"diskreuse/internal/trace"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Model    disk.Model
+	NumDisks int
+	Policy   Policy
+
+	// TPMThreshold is the idleness threshold before spin-down; zero
+	// selects the model's break-even time (Table 1).
+	TPMThreshold float64
+	// DRPMWindow is the controller window in requests (Table 1: 100).
+	DRPMWindow int
+	// DRPMRaise is the response-time ratio (observed mean over full-speed
+	// estimate) above which the controller raises the operating speed one
+	// level. Zero selects the default.
+	DRPMRaise float64
+	// DRPMLower is the ratio below which the controller lowers the
+	// operating speed one level (slack available). Zero selects the
+	// default; a negative value disables operational lowering entirely,
+	// leaving idle-time coasting as the only way down. When positive it
+	// must be < DRPMRaise. The defaults bracket the one-level-down service
+	// ratio (≈1.10 for 4-KiB pages), pinning the operational equilibrium
+	// at a single step below full speed — the modest savings/penalty
+	// balance reported for DRPM on unmodified codes.
+	DRPMLower float64
+	// DRPMDwell is how long a DRPM disk lingers at a speed level during an
+	// idle period before coasting further down.
+	DRPMDwell float64
+
+	// ClosedLoop selects the replay model. The default (false) is the
+	// paper's methodology: the simulator "is driven by externally-provided
+	// disk I/O request traces" — arrival times are fixed, so a policy-
+	// induced stall delays that disk's queue but never feeds back into the
+	// issue stream. With ClosedLoop true, each processor re-issues its
+	// requests only as earlier ones complete (per AsyncDepth), modeling a
+	// blocking application; stalls then propagate and can cascade across
+	// disks.
+	ClosedLoop bool
+
+	// ThinkEstimate is the per-request service estimate the trace
+	// generator used for its clocks; the closed-loop replay recovers each
+	// request's think time as the arrival gap minus this estimate. Zero
+	// selects the full-speed service time of a 4-KiB page.
+	ThinkEstimate float64
+
+	// AsyncDepth is the number of outstanding requests a processor may
+	// have in flight before blocking on the oldest (closed-loop replay
+	// only) — the prefetch depth of the parallel I/O library. Zero selects
+	// DefaultAsyncDepth; 1 means fully synchronous I/O.
+	AsyncDepth int
+
+	// Hints are compiler-inserted proactive spin-up directives (the [25]
+	// extension): a TPM disk that spun down begins its spin-up at the hint
+	// time instead of waiting for the next request, hiding some or all of
+	// the wake-up latency. Ignored by NoPM and DRPM.
+	Hints []trace.Hint
+
+	// Record, when non-nil, receives every state interval of every disk as
+	// the simulation accounts it (used by the timeline visualization).
+	// Intervals for one disk are emitted in increasing time order.
+	Record func(iv Interval)
+
+	// RAIDWidth is the number of physical disks behind each I/O node —
+	// the RAID-level striping of Fig. 1, which is hidden from the compiler
+	// (power is still managed at I/O-node granularity, as in the paper).
+	// Width w lets a node service w requests concurrently and multiplies
+	// its power draw and transition energies by w. Zero or 1 models one
+	// disk per node, the paper's default evaluation setup.
+	RAIDWidth int
+}
+
+// StateKind classifies a disk's activity during an interval.
+type StateKind int
+
+// Disk states for recorded intervals.
+const (
+	StateBusy StateKind = iota
+	StateIdle
+	StateStandby
+	StateTransition
+)
+
+func (k StateKind) String() string {
+	switch k {
+	case StateBusy:
+		return "busy"
+	case StateIdle:
+		return "idle"
+	case StateStandby:
+		return "standby"
+	case StateTransition:
+		return "transition"
+	}
+	return fmt.Sprintf("StateKind(%d)", int(k))
+}
+
+// Interval is one recorded span of disk activity.
+type Interval struct {
+	Disk     int
+	From, To float64
+	Kind     StateKind
+	RPM      int // rotational speed during the interval (0 in standby)
+}
+
+// DefaultAsyncDepth is the default per-processor outstanding-request
+// window.
+const DefaultAsyncDepth = 8
+
+// Default DRPM controller constants. DRPMRaise/DRPMLower bracket the
+// response-time degradation the controller tolerates; the defaults let the
+// disk trade roughly one speed level's worth of service-time increase for
+// its quadratic power reduction, matching the modest savings/penalty
+// balance reported for DRPM on unmodified codes. The coast dwell is of the
+// same order as the TPM break-even time: coasting below the operating
+// point costs a multi-second recovery ramp when the next burst arrives, so
+// it must only happen during idleness long enough to amortize it.
+const (
+	DefaultDRPMRaise = 1.15
+	DefaultDRPMLower = 1.07
+	DefaultDRPMDwell = 0.7
+)
+
+// queuePressureFactor is the queue-wait (in full-speed service times) past
+// which a DRPM disk abandons gradual control and ramps to full speed even
+// mid-burst, paying the transition stall — the high-watermark response of
+// [13]. It is deliberately large: changing speed while requests queue
+// stalls the disk for seconds, so it must amortize over a long burst.
+const queuePressureFactor = 100
+
+// Policy selects the power-management scheme.
+type Policy int
+
+const (
+	// NoPM applies no power management.
+	NoPM Policy = iota
+	// TPM is threshold-based spin-down.
+	TPM
+	// DRPM is multi-speed dynamic RPM management.
+	DRPM
+)
+
+func (p Policy) String() string {
+	switch p {
+	case NoPM:
+		return "NoPM"
+	case TPM:
+		return "TPM"
+	case DRPM:
+		return "DRPM"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// DiskStats reports one disk's simulation outcome.
+type DiskStats struct {
+	Requests int
+	// BusyTime is the disk's total service time — the paper's "disk I/O
+	// time": it grows when DRPM services at reduced speed and is barely
+	// affected by TPM transitions.
+	BusyTime float64
+	// ResponseTime is the sum of request response times (completion minus
+	// issue), including queueing and wake-up delays.
+	ResponseTime float64
+	// LastCompletion is when the disk finished its final request.
+	LastCompletion float64
+	// Meter holds the energy/state accounting.
+	Meter power.Meter
+	// GapsOverBreakEven counts idle gaps long enough for a TPM disk to
+	// profit from spinning down.
+	GapsOverBreakEven int
+	// LongestGap is the longest idle gap observed (seconds).
+	LongestGap float64
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	PerDisk []DiskStats
+	Energy  float64 // total J across disks
+	// IOTime is the total disk I/O (busy) time across disks — the
+	// performance metric of Figures 10(a)/10(b).
+	IOTime float64
+	// ResponseTime is the total request response time (a secondary,
+	// latency-oriented metric).
+	ResponseTime float64
+	Makespan     float64 // time of the last completion (s)
+	Requests     int
+	Policy       Policy
+}
+
+// procStream is one processor's request sequence with recovered think
+// times: think[k] is the compute delay between completing request k-1 and
+// issuing request k.
+type procStream struct {
+	reqs  []trace.Request
+	disks []int
+	think []float64
+	next  int     // index of the next request to issue
+	ready float64 // time the processor can issue it
+	// completions is a ring of the last AsyncDepth completion times; a new
+	// request blocks on the completion AsyncDepth requests back.
+	completions []float64
+}
+
+// streamHeap orders processors by the issue time of their next request.
+type streamHeap []*procStream
+
+func (h streamHeap) Len() int            { return len(h) }
+func (h streamHeap) Less(i, j int) bool  { return h[i].ready < h[j].ready }
+func (h streamHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *streamHeap) Push(x interface{}) { *h = append(*h, x.(*procStream)) }
+func (h *streamHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run replays reqs against cfg.NumDisks disks. diskOf maps a request's
+// block number to its disk using the striping information, exactly as the
+// paper's simulator consumes externally provided striping parameters.
+//
+// The replay is closed-loop per processor: each processor issues its next
+// request only after its previous one completed plus the think (compute)
+// time recovered from the trace's arrival gaps. Disks service requests
+// FIFO in issue order.
+func Run(reqs []trace.Request, diskOf func(block int64) (int, error), cfg Config) (*Result, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumDisks <= 0 {
+		return nil, fmt.Errorf("sim: NumDisks must be positive")
+	}
+	if cfg.TPMThreshold <= 0 {
+		cfg.TPMThreshold = cfg.Model.BreakEven
+	}
+	if cfg.DRPMWindow <= 0 {
+		cfg.DRPMWindow = 100
+	}
+	if cfg.DRPMRaise <= 0 {
+		cfg.DRPMRaise = DefaultDRPMRaise
+	}
+	if cfg.DRPMLower == 0 {
+		cfg.DRPMLower = DefaultDRPMLower
+	}
+	if cfg.DRPMLower > 0 && cfg.DRPMLower >= cfg.DRPMRaise {
+		return nil, fmt.Errorf("sim: DRPMLower %v must be below DRPMRaise %v", cfg.DRPMLower, cfg.DRPMRaise)
+	}
+	if cfg.DRPMDwell <= 0 {
+		cfg.DRPMDwell = DefaultDRPMDwell
+	}
+	if cfg.ThinkEstimate <= 0 {
+		cfg.ThinkEstimate = cfg.Model.FullSpeedService(4096)
+	}
+	if cfg.AsyncDepth <= 0 {
+		cfg.AsyncDepth = DefaultAsyncDepth
+	}
+	if cfg.RAIDWidth <= 0 {
+		cfg.RAIDWidth = 1
+	}
+
+	res := &Result{
+		PerDisk:  make([]DiskStats, cfg.NumDisks),
+		Requests: len(reqs),
+		Policy:   cfg.Policy,
+	}
+	// With RAID-level striping (Fig. 1), each I/O node's meter accounts for
+	// all of its physical disks: power draws and transition energies scale
+	// with the width, while the timing model is per physical disk.
+	meterModel := cfg.Model
+	if w := float64(cfg.RAIDWidth); w > 1 {
+		meterModel.PowerActive *= w
+		meterModel.PowerIdle *= w
+		meterModel.PowerStandby *= w
+		meterModel.SpinDownEnergy *= w
+		meterModel.SpinUpEnergy *= w
+	}
+	states := make([]*diskSim, cfg.NumDisks)
+	for d := 0; d < cfg.NumDisks; d++ {
+		res.PerDisk[d].Meter = *power.NewMeter(meterModel)
+		states[d] = newDiskSim(cfg)
+		states[d].id = d
+	}
+	for _, h := range cfg.Hints {
+		if h.Disk < 0 || h.Disk >= cfg.NumDisks {
+			return nil, fmt.Errorf("sim: hint for disk %d outside 0..%d", h.Disk, cfg.NumDisks-1)
+		}
+		states[h.Disk].hints = append(states[h.Disk].hints, h.Time)
+	}
+	if cfg.ClosedLoop {
+		if err := runClosedLoop(reqs, diskOf, cfg, states, res); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := runOpenLoop(reqs, diskOf, cfg, states, res); err != nil {
+			return nil, err
+		}
+	}
+
+	// Tail: every disk stays powered until the application's last request
+	// completes; apply the policy to the final gap (no spin-up at the end).
+	for d := 0; d < cfg.NumDisks; d++ {
+		st := &res.PerDisk[d]
+		states[d].finish(res.Makespan-states[d].clock, st)
+		res.Energy += st.Meter.Total()
+		res.IOTime += st.BusyTime
+	}
+	return res, nil
+}
+
+// runOpenLoop replays the trace with fixed arrival times: each disk
+// services its requests FIFO in arrival order (the paper's trace-driven
+// methodology).
+func runOpenLoop(reqs []trace.Request, diskOf func(int64) (int, error), cfg Config, states []*diskSim, res *Result) error {
+	perDisk := make([][]trace.Request, cfg.NumDisks)
+	for _, r := range reqs {
+		d, err := diskOf(r.Block)
+		if err != nil {
+			return err
+		}
+		if d < 0 || d >= cfg.NumDisks {
+			return fmt.Errorf("sim: block %d maps to disk %d outside 0..%d", r.Block, d, cfg.NumDisks-1)
+		}
+		perDisk[d] = append(perDisk[d], r)
+	}
+	for d := 0; d < cfg.NumDisks; d++ {
+		sorted := perDisk[d]
+		trace.SortByArrival(sorted)
+		for _, r := range sorted {
+			completion, resp := states[d].service(r.Arrival, r.Size, &res.PerDisk[d])
+			res.ResponseTime += resp
+			if completion > res.Makespan {
+				res.Makespan = completion
+			}
+		}
+	}
+	return nil
+}
+
+// runClosedLoop replays the trace with per-processor feedback: each
+// processor issues its next request only after its compute gap and subject
+// to the AsyncDepth outstanding-request window.
+func runClosedLoop(reqs []trace.Request, diskOf func(int64) (int, error), cfg Config, states []*diskSim, res *Result) error {
+	byProc := map[int]*procStream{}
+	var procIDs []int
+	sorted := append([]trace.Request(nil), reqs...)
+	trace.SortByArrival(sorted)
+	for _, r := range sorted {
+		d, err := diskOf(r.Block)
+		if err != nil {
+			return err
+		}
+		if d < 0 || d >= cfg.NumDisks {
+			return fmt.Errorf("sim: block %d maps to disk %d outside 0..%d", r.Block, d, cfg.NumDisks-1)
+		}
+		ps, ok := byProc[r.Proc]
+		if !ok {
+			ps = &procStream{}
+			byProc[r.Proc] = ps
+			procIDs = append(procIDs, r.Proc)
+		}
+		think := r.Arrival
+		if n := len(ps.reqs); n > 0 {
+			think = r.Arrival - ps.reqs[n-1].Arrival - cfg.ThinkEstimate
+			if think < 0 {
+				think = 0
+			}
+		}
+		ps.reqs = append(ps.reqs, r)
+		ps.disks = append(ps.disks, d)
+		ps.think = append(ps.think, think)
+	}
+
+	h := &streamHeap{}
+	for _, p := range procIDs {
+		ps := byProc[p]
+		ps.ready = ps.think[0]
+		ps.completions = make([]float64, cfg.AsyncDepth)
+		heap.Push(h, ps)
+	}
+	for h.Len() > 0 {
+		ps := heap.Pop(h).(*procStream)
+		k := ps.next
+		r, d := ps.reqs[k], ps.disks[k]
+		issue := ps.ready
+		completion, resp := states[d].service(issue, r.Size, &res.PerDisk[d])
+		res.ResponseTime += resp
+		if completion > res.Makespan {
+			res.Makespan = completion
+		}
+		ps.completions[k%cfg.AsyncDepth] = completion
+		ps.next++
+		if ps.next < len(ps.reqs) {
+			// The processor issues the next request after its compute gap,
+			// but no sooner than the completion AsyncDepth requests back
+			// (the outstanding window is full until then).
+			ready := issue + ps.think[ps.next]
+			if ps.next >= cfg.AsyncDepth {
+				if w := ps.completions[(ps.next-cfg.AsyncDepth)%cfg.AsyncDepth]; w > ready {
+					ready = w
+				}
+			}
+			ps.ready = ready
+			heap.Push(h, ps)
+		}
+	}
+	return nil
+}
+
+// diskSim simulates one disk.
+type diskSim struct {
+	cfg   Config
+	m     disk.Model
+	clock float64 // completion time of the last serviced request
+
+	rpm        int // current rotational speed
+	target     int // DRPM controller's chosen operating speed
+	winCount   int
+	winResp    float64
+	winFullEst float64
+
+	// hints holds pending proactive spin-up times (ascending); hintIdx is
+	// the next unconsumed one.
+	hints   []float64
+	hintIdx int
+
+	id int // disk index, for recorded intervals
+
+	// sub holds the busy-until time of each physical disk behind this I/O
+	// node (RAID-level striping); length is Config.RAIDWidth.
+	sub []float64
+}
+
+func newDiskSim(cfg Config) *diskSim {
+	return &diskSim{
+		cfg:    cfg,
+		m:      cfg.Model,
+		rpm:    cfg.Model.RPMMax,
+		target: cfg.Model.RPMMax,
+		sub:    make([]float64, cfg.RAIDWidth),
+	}
+}
+
+// syncSubs clamps every physical disk's busy-until time up to the node
+// clock (after a node-wide stall such as a speed shift).
+func (ds *diskSim) syncSubs() {
+	for k := range ds.sub {
+		if ds.sub[k] < ds.clock {
+			ds.sub[k] = ds.clock
+		}
+	}
+}
+
+// The charge helpers account a state span in the energy meter and, when a
+// recorder is configured, emit the corresponding timeline interval.
+
+func (ds *diskSim) emit(kind StateKind, from, to float64, rpm int) {
+	if ds.cfg.Record != nil && to > from {
+		ds.cfg.Record(Interval{Disk: ds.id, From: from, To: to, Kind: kind, RPM: rpm})
+	}
+}
+
+func (ds *diskSim) chargeIdle(st *DiskStats, from, dt float64, rpm int) {
+	st.Meter.Idle(dt, rpm)
+	ds.emit(StateIdle, from, from+dt, rpm)
+}
+
+func (ds *diskSim) chargeActive(st *DiskStats, from, dt float64, rpm int) {
+	st.Meter.Active(dt, rpm)
+	ds.emit(StateBusy, from, from+dt, rpm)
+}
+
+func (ds *diskSim) chargeStandby(st *DiskStats, from, dt float64) {
+	st.Meter.Standby(dt)
+	ds.emit(StateStandby, from, from+dt, 0)
+}
+
+func (ds *diskSim) chargeSpinDown(st *DiskStats, from float64) {
+	st.Meter.SpinDown()
+	ds.emit(StateTransition, from, from+ds.m.SpinDownTime, 0)
+}
+
+func (ds *diskSim) chargeSpinUp(st *DiskStats, from float64) {
+	st.Meter.SpinUp()
+	ds.emit(StateTransition, from, from+ds.m.SpinUpTime, ds.m.RPMMax)
+}
+
+// chargeShift accounts a DRPM speed change and returns its duration.
+func (ds *diskSim) chargeShift(st *DiskStats, from float64, fromRPM, toRPM int) float64 {
+	st.Meter.Shift(fromRPM, toRPM)
+	dt := power.ShiftTime(ds.m, fromRPM, toRPM)
+	ds.emit(StateTransition, from, from+dt, toRPM)
+	return dt
+}
+
+// service handles one request issued at the given time and returns its
+// completion time and response time (completion minus issue).
+func (ds *diskSim) service(issue float64, size int64, st *DiskStats) (completion, resp float64) {
+	st.Requests++
+	// Idleness is an I/O-node property: the node is idle only when every
+	// physical disk behind it has finished (ds.clock is the latest such
+	// completion). Power management acts at node granularity (§2).
+	nodeReady := issue
+	if issue > ds.clock {
+		gap := issue - ds.clock
+		if gap > st.LongestGap {
+			st.LongestGap = gap
+		}
+		if gap >= ds.m.BreakEven {
+			st.GapsOverBreakEven++
+		}
+		nodeReady = ds.advanceGap(gap, st)
+		ds.syncSubs()
+	}
+	// Dispatch to the least-loaded physical disk (RAID-level striping).
+	k := 0
+	for i := range ds.sub {
+		if ds.sub[i] < ds.sub[k] {
+			k = i
+		}
+	}
+	dispatch := nodeReady
+	if ds.sub[k] > dispatch {
+		dispatch = ds.sub[k] // queueing delay behind earlier requests
+	}
+	// Queueing wait that full-speed service would also (approximately)
+	// have suffered; the DRPM controller compares against it so it reacts
+	// to its own slowdown, not to offered load.
+	loadWait := dispatch - issue
+	// DRPM queue-pressure ramp: a request that has waited many service
+	// times in the queue means the disk is far too slow for the offered
+	// load — ramp straight to full speed (the watermark mechanism of [13])
+	// instead of waiting out the response-time window.
+	if ds.cfg.Policy == DRPM && ds.rpm < ds.m.RPMMax {
+		if loadWait > queuePressureFactor*ds.m.FullSpeedService(size) {
+			old := ds.rpm
+			ds.rpm = ds.m.RPMMax
+			ds.target = ds.m.RPMMax
+			ds.clock += ds.chargeShift(st, ds.clock, old, ds.rpm)
+			ds.syncSubs()
+			if ds.sub[k] > dispatch {
+				dispatch = ds.sub[k]
+			}
+		}
+	}
+	svc := ds.m.ServiceTime(size, ds.rpm)
+	ds.chargeActive(st, dispatch, svc, ds.rpm)
+	completion = dispatch + svc // the data is ready for the processor here
+	ds.sub[k] = completion
+	if completion > ds.clock {
+		ds.clock = completion
+	}
+	resp = completion - issue
+	st.BusyTime += svc
+	st.ResponseTime += resp
+	st.LastCompletion = ds.clock
+	ds.observe(resp, loadWait, size)
+	// A DRPM disk running below the controller's operating point recovers
+	// one level after servicing (a sustained burst keeps pulling it up);
+	// the shift occupies the disk but the already-delivered data does not
+	// wait for it.
+	if ds.cfg.Policy == DRPM && ds.rpm < ds.target {
+		next := ds.m.ClampRPM(ds.rpm + ds.m.RPMStep)
+		ds.clock += ds.chargeShift(st, ds.clock, ds.rpm, next)
+		ds.syncSubs()
+		ds.rpm = next
+		st.LastCompletion = ds.clock
+	}
+	return completion, resp
+}
+
+// finish accounts the idle tail from the disk's last completion to the
+// application end.
+func (ds *diskSim) finish(gap float64, st *DiskStats) {
+	if gap <= 0 {
+		return
+	}
+	if gap > st.LongestGap {
+		st.LongestGap = gap
+	}
+	ds.advanceGapTail(gap, st)
+}
+
+// advanceGap consumes an idle gap according to the policy and returns the
+// time service can begin (gap start time is ds.clock; the returned time is
+// ds.clock + gap + any wake-up penalty).
+func (ds *diskSim) advanceGap(gap float64, st *DiskStats) float64 {
+	begin := ds.clock
+	switch ds.cfg.Policy {
+	case NoPM:
+		ds.chargeIdle(st, begin, gap, ds.m.RPMMax)
+		return begin + gap
+
+	case TPM:
+		thr := ds.cfg.TPMThreshold
+		arrivalAt := begin + gap
+		// Drop hints that this gap has already passed by.
+		for ds.hintIdx < len(ds.hints) && ds.hints[ds.hintIdx] < begin {
+			ds.hintIdx++
+		}
+		if gap < thr {
+			// The disk never spins down; in-gap hints are redundant.
+			for ds.hintIdx < len(ds.hints) && ds.hints[ds.hintIdx] <= arrivalAt {
+				ds.hintIdx++
+			}
+			ds.chargeIdle(st, begin, gap, ds.m.RPMMax)
+			return begin + gap
+		}
+		// Idle until the threshold fires, spin down, stand by until either
+		// a proactive hint or the request itself triggers the spin-up;
+		// service starts once the spin-up completes (and never before the
+		// spin-down finished, for gaps barely over the threshold).
+		ds.chargeIdle(st, begin, thr, ds.m.RPMMax)
+		ds.chargeSpinDown(st, begin+thr)
+		spinDownDone := begin + thr + ds.m.SpinDownTime
+		wakeStart := arrivalAt
+		if ds.hintIdx < len(ds.hints) && ds.hints[ds.hintIdx] <= arrivalAt {
+			// Proactive early wake; a directive arriving while the
+			// spin-down is still completing takes effect right after it.
+			wakeStart = ds.hints[ds.hintIdx]
+			for ds.hintIdx < len(ds.hints) && ds.hints[ds.hintIdx] <= arrivalAt {
+				ds.hintIdx++
+			}
+		}
+		if spinDownDone > wakeStart {
+			wakeStart = spinDownDone
+		}
+		if wakeStart > spinDownDone {
+			ds.chargeStandby(st, spinDownDone, wakeStart-spinDownDone)
+		}
+		ds.chargeSpinUp(st, wakeStart)
+		ready := wakeStart + ds.m.SpinUpTime
+		if ready < arrivalAt {
+			// The hint hid the whole wake-up: the disk idles, spinning,
+			// until the request arrives.
+			ds.chargeIdle(st, ready, arrivalAt-ready, ds.m.RPMMax)
+			ready = arrivalAt
+		}
+		return ready
+
+	case DRPM:
+		// All speed changes happen while the disk is idle (transitions
+		// stall the spindle for seconds, so a busy disk never shifts). The
+		// disk first moves toward the controller's operating point — up or
+		// down — then, if the idleness persists beyond the dwell, coasts
+		// one level at a time toward the minimum speed: an idle spindle
+		// has no response-time constraint.
+		cursor := begin
+		remaining := gap
+		for {
+			var next int
+			var dwell float64
+			switch {
+			case ds.rpm > ds.target: // settle down to the operating point
+				next = ds.m.ClampRPM(ds.rpm - ds.m.RPMStep)
+			case ds.rpm > ds.m.RPMMin: // coast below it after a dwell
+				next = ds.m.ClampRPM(ds.rpm - ds.m.RPMStep)
+				dwell = ds.cfg.DRPMDwell
+			default:
+				// At or below both the operating point and the floor, or
+				// recovery is pending: idle out the gap (recovery happens
+				// as requests are serviced, never during idleness).
+				ds.chargeIdle(st, cursor, remaining, ds.rpm)
+				return begin + gap
+			}
+			shift := power.ShiftTime(ds.m, ds.rpm, next)
+			if remaining < dwell+shift {
+				ds.chargeIdle(st, cursor, remaining, ds.rpm)
+				return begin + gap
+			}
+			if dwell > 0 {
+				ds.chargeIdle(st, cursor, dwell, ds.rpm)
+				cursor += dwell
+				remaining -= dwell
+			}
+			cursor += ds.chargeShift(st, cursor, ds.rpm, next)
+			remaining -= shift
+			ds.rpm = next
+		}
+	}
+	ds.chargeIdle(st, begin, gap, ds.m.RPMMax)
+	return begin + gap
+}
+
+// advanceGapTail is advanceGap without a terminating request: TPM disks
+// that spin down stay down; DRPM disks coast and stay slow.
+func (ds *diskSim) advanceGapTail(gap float64, st *DiskStats) {
+	begin := ds.clock
+	switch ds.cfg.Policy {
+	case TPM:
+		thr := ds.cfg.TPMThreshold
+		if gap < thr {
+			ds.chargeIdle(st, begin, gap, ds.m.RPMMax)
+			return
+		}
+		ds.chargeIdle(st, begin, thr, ds.m.RPMMax)
+		ds.chargeSpinDown(st, begin+thr)
+		if rest := gap - thr - ds.m.SpinDownTime; rest > 0 {
+			ds.chargeStandby(st, begin+thr+ds.m.SpinDownTime, rest)
+		}
+	case DRPM:
+		ds.advanceGap(gap, st)
+	default:
+		ds.chargeIdle(st, begin, gap, ds.m.RPMMax)
+	}
+}
+
+// observe feeds the DRPM controller: at each window boundary it compares
+// the window's mean response time against the full-speed estimate — "the
+// selection of the disk speed level is made based on the change in the
+// average disk response time recorded for n-request windows" (§4) — and
+// moves the operating speed one level: up when the degradation exceeds
+// DRPMRaise (perf suffering: recover speed immediately), down when it is
+// below DRPMLower (slack available: trade speed for quadratic power).
+func (ds *diskSim) observe(resp, loadWait float64, size int64) {
+	if ds.cfg.Policy != DRPM {
+		return
+	}
+	ds.winCount++
+	ds.winResp += resp
+	ds.winFullEst += loadWait + ds.m.FullSpeedService(size)
+	if ds.winCount < ds.cfg.DRPMWindow {
+		return
+	}
+	avgResp := ds.winResp / float64(ds.winCount)
+	avgFull := ds.winFullEst / float64(ds.winCount)
+	ds.winCount, ds.winResp, ds.winFullEst = 0, 0, 0
+	switch {
+	case avgResp > ds.cfg.DRPMRaise*avgFull:
+		ds.target = ds.m.ClampRPM(ds.target + ds.m.RPMStep)
+	case ds.cfg.DRPMLower > 0 && avgResp < ds.cfg.DRPMLower*avgFull:
+		ds.target = ds.m.ClampRPM(ds.target - ds.m.RPMStep)
+	}
+	// The spindle itself only moves during idleness (advanceGap), after a
+	// service (the recovery step in run), or under queue pressure.
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode feeds the trace parser arbitrary text: it must never panic,
+// and anything it accepts must survive an encode/decode round trip.
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		"0.0 0 4096 R 0\n",
+		"# comment\n\n1.5 12 32768 W 3\n2.5 13 4096 r 1\n",
+		"x y z\n",
+		"1.0 5 4096 Q 0\n",
+		"999999999.9 9223372036854775807 1 w 255\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		reqs, err := Decode(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, r := range reqs {
+			if math.IsNaN(r.Arrival) {
+				t.Fatalf("decoded NaN arrival from %q", in)
+			}
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, reqs); err != nil {
+			t.Fatalf("encode of decoded trace failed: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("decode of encoded trace failed: %v\n%s", err, buf.String())
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("round trip changed request count: %d -> %d", len(reqs), len(again))
+		}
+		for i := range reqs {
+			if again[i].Block != reqs[i].Block || again[i].Size != reqs[i].Size ||
+				again[i].Write != reqs[i].Write || again[i].Proc != reqs[i].Proc {
+				t.Fatalf("round trip changed request %d: %+v -> %+v", i, reqs[i], again[i])
+			}
+			if math.Abs(again[i].Arrival-reqs[i].Arrival) > 1e-6+1e-9*math.Abs(reqs[i].Arrival) {
+				t.Fatalf("round trip moved arrival %d: %v -> %v", i, reqs[i].Arrival, again[i].Arrival)
+			}
+		}
+	})
+}

@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"fmt"
+
+	"diskreuse/internal/core"
+	"diskreuse/internal/interp"
+)
+
+// Phase is one barrier-delimited batch of execution: each processor runs
+// its iteration list concurrently with the others, and all processors join
+// the barrier before the next phase begins. The single-processor case is a
+// single phase with one list; the multiprocessor experiments use one phase
+// per nest (§6's execution model).
+type Phase struct {
+	PerProc [][]int // iteration ids in execution order, indexed by processor
+}
+
+// Coalesce selects how repeated touches to the same page are absorbed
+// before they become disk requests.
+type Coalesce int
+
+const (
+	// FirstTouch emits one read and at most one write request per
+	// (processor, nest, page): the compiler's out-of-core I/O insertion
+	// fetches each page a nest needs once and writes each dirty page once.
+	// Request counts are then independent of iteration order — matching
+	// the paper's Table 2, which lists a single request count per
+	// application across all versions — while arrival times still reflect
+	// the schedule.
+	FirstTouch Coalesce = iota
+	// LRU models a small per-processor file cache instead: a touch to a
+	// resident page is absorbed; a miss fetches the page, evicting the
+	// least recently used. Request counts then depend on access order.
+	LRU
+)
+
+// GenConfig controls trace generation.
+type GenConfig struct {
+	// ComputePerIter is the CPU time each iteration spends outside I/O,
+	// standing in for the paper's SUN Blade1000 cycle estimates.
+	ComputePerIter float64
+	// Coalesce selects the request-coalescing model (default FirstTouch).
+	Coalesce Coalesce
+	// CachePages is the per-processor cache capacity in pages for the LRU
+	// model. Zero selects DefaultCachePages.
+	CachePages int
+	// ServiceEstimate estimates the I/O completion time the generating
+	// processor waits for on a cache miss (closed-loop generation). Zero
+	// selects a 4-KiB full-speed Ultrastar service time.
+	ServiceEstimate float64
+}
+
+// DefaultCachePages is the default per-processor cache capacity. It is
+// deliberately small relative to the arrays: the paper's applications are
+// out-of-core, so the cache absorbs only short-term reuse.
+const DefaultCachePages = 64
+
+// touchKey identifies a first-touch coalescing unit.
+type touchKey struct {
+	nest  int
+	page  int64
+	write bool
+}
+
+// pageCache is a tiny LRU set of resident pages.
+type pageCache struct {
+	cap   int
+	pages map[int64]int // page -> recency stamp
+	clock int
+}
+
+func newPageCache(capacity int) *pageCache {
+	return &pageCache{cap: capacity, pages: make(map[int64]int, capacity)}
+}
+
+// touch returns true on hit; on miss it inserts the page, evicting the
+// least recently used one if full.
+func (c *pageCache) touch(page int64) bool {
+	c.clock++
+	if _, ok := c.pages[page]; ok {
+		c.pages[page] = c.clock
+		return true
+	}
+	if len(c.pages) >= c.cap {
+		oldPage, oldStamp := int64(-1), c.clock+1
+		for p, s := range c.pages {
+			if s < oldStamp {
+				oldPage, oldStamp = p, s
+			}
+		}
+		delete(c.pages, oldPage)
+	}
+	c.pages[page] = c.clock
+	return false
+}
+
+// Generate produces the disk request trace for an execution described by
+// phases over the iteration space of r. Each processor has its own clock;
+// a cache miss emits a request at the current clock and advances it by the
+// service estimate (closed-loop generation, as when the source program
+// blocks on a read), and each finished iteration advances it by the
+// compute time. Clocks synchronize to the barrier (max of all clocks)
+// between phases. The returned requests are sorted by arrival time.
+func Generate(r *core.Restructurer, phases []Phase, cfg GenConfig) ([]Request, error) {
+	if cfg.CachePages <= 0 {
+		cfg.CachePages = DefaultCachePages
+	}
+	if cfg.ServiceEstimate <= 0 {
+		cfg.ServiceEstimate = 5.474e-3 // 4 KiB at full Ultrastar speed
+	}
+	procs := 0
+	for _, ph := range phases {
+		if len(ph.PerProc) > procs {
+			procs = len(ph.PerProc)
+		}
+	}
+	if procs == 0 {
+		return nil, fmt.Errorf("trace: no processors in phases")
+	}
+	clocks := make([]float64, procs)
+	caches := make([]*pageCache, procs)
+	touched := make([]map[touchKey]bool, procs)
+	for p := range caches {
+		caches[p] = newPageCache(cfg.CachePages)
+		touched[p] = map[touchKey]bool{}
+	}
+
+	// absorb reports whether the access to page by processor p during nest
+	// execution can be satisfied without a disk request.
+	absorb := func(p int, nest int, page int64, write bool) bool {
+		if cfg.Coalesce == LRU {
+			return caches[p].touch(page)
+		}
+		k := touchKey{nest: nest, page: page, write: write}
+		if touched[p][k] {
+			return true
+		}
+		touched[p][k] = true
+		return false
+	}
+
+	var reqs []Request
+	var buf []interp.Access
+	seen := make([]bool, r.Space.NumIterations())
+	for _, ph := range phases {
+		for p, order := range ph.PerProc {
+			for _, id := range order {
+				if id < 0 || id >= len(seen) {
+					return nil, fmt.Errorf("trace: iteration id %d out of range", id)
+				}
+				if seen[id] {
+					return nil, fmt.Errorf("trace: iteration %d appears twice", id)
+				}
+				seen[id] = true
+				nest := r.Space.Iters[id].Nest
+				buf = r.Space.Accesses(id, buf[:0])
+				for _, a := range buf {
+					page, err := r.Layout.ElemPage(a.Array, a.Lin)
+					if err != nil {
+						return nil, err
+					}
+					if absorb(p, nest, page, a.Write) {
+						continue
+					}
+					reqs = append(reqs, Request{
+						Arrival: clocks[p],
+						Block:   page,
+						Size:    r.Layout.PageSize,
+						Write:   a.Write,
+						Proc:    p,
+					})
+					clocks[p] += cfg.ServiceEstimate
+				}
+				clocks[p] += cfg.ComputePerIter
+			}
+		}
+		// Barrier: everyone waits for the slowest processor.
+		maxClock := 0.0
+		for _, c := range clocks {
+			if c > maxClock {
+				maxClock = c
+			}
+		}
+		for p := range clocks {
+			clocks[p] = maxClock
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("trace: iteration %d never executed", id)
+		}
+	}
+	SortByArrival(reqs)
+	return reqs, nil
+}
+
+// SinglePhase wraps a single-processor schedule as one phase.
+func SinglePhase(s *core.Schedule) []Phase {
+	return []Phase{{PerProc: [][]int{s.Order}}}
+}
+
+// VerifyPhases checks that the phased execution respects every dependence
+// edge of the graph: an edge u -> v is satisfied if u's phase precedes v's,
+// or they share a phase AND a processor with u ordered before v. Barriers
+// order distinct phases; nothing orders two processors within a phase.
+func VerifyPhases(space *interp.Space, g *interp.DepGraph, phases []Phase) error {
+	n := space.NumIterations()
+	phaseOf := make([]int, n)
+	procOf := make([]int, n)
+	posOf := make([]int, n)
+	placed := make([]bool, n)
+	for pi, ph := range phases {
+		for p, order := range ph.PerProc {
+			for pos, id := range order {
+				if id < 0 || id >= n {
+					return fmt.Errorf("trace: phase %d: id %d out of range", pi, id)
+				}
+				if placed[id] {
+					return fmt.Errorf("trace: iteration %d placed twice", id)
+				}
+				placed[id] = true
+				phaseOf[id], procOf[id], posOf[id] = pi, p, pos
+			}
+		}
+	}
+	for id, ok := range placed {
+		if !ok {
+			return fmt.Errorf("trace: iteration %d not placed", id)
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, u32 := range g.Preds[v] {
+			u := int(u32)
+			switch {
+			case phaseOf[u] < phaseOf[v]:
+			case phaseOf[u] > phaseOf[v]:
+				return fmt.Errorf("trace: dependence %v -> %v runs backwards across phases",
+					space.Iters[u], space.Iters[v])
+			case procOf[u] != procOf[v]:
+				return fmt.Errorf("trace: dependence %v -> %v crosses processors %d/%d within a phase",
+					space.Iters[u], space.Iters[v], procOf[u], procOf[v])
+			case posOf[u] >= posOf[v]:
+				return fmt.Errorf("trace: dependence %v -> %v out of order on processor %d",
+					space.Iters[u], space.Iters[v], procOf[u])
+			}
+		}
+	}
+	return nil
+}
+
+// NestPhases builds one phase per nest from a per-processor assignment of
+// iteration ids (each inner list already in the desired execution order).
+// perProcOrders[p] holds processor p's full iteration order; iterations are
+// split into phases by their nest, preserving relative order.
+func NestPhases(space *interp.Space, perProcOrders [][]int, numNests int) []Phase {
+	phases := make([]Phase, numNests)
+	procs := len(perProcOrders)
+	for k := range phases {
+		phases[k].PerProc = make([][]int, procs)
+	}
+	for p, order := range perProcOrders {
+		for _, id := range order {
+			k := space.Iters[id].Nest
+			phases[k].PerProc[p] = append(phases[k].PerProc[p], id)
+		}
+	}
+	return phases
+}

@@ -1,0 +1,113 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"diskreuse/internal/disk"
+	"diskreuse/internal/sim"
+	"diskreuse/internal/trace"
+)
+
+func TestRenderSynthetic(t *testing.T) {
+	r := NewRecorder()
+	r.Record(sim.Interval{Disk: 0, From: 0, To: 10, Kind: sim.StateBusy, RPM: 15000})
+	r.Record(sim.Interval{Disk: 0, From: 10, To: 100, Kind: sim.StateStandby})
+	r.Record(sim.Interval{Disk: 1, From: 0, To: 50, Kind: sim.StateIdle, RPM: 15000})
+	r.Record(sim.Interval{Disk: 1, From: 50, To: 100, Kind: sim.StateIdle, RPM: 6000})
+	var b strings.Builder
+	if err := r.Render(&b, 50, 15000); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "disk 0 ") || !strings.Contains(out, "disk 1 ") {
+		t.Fatalf("missing disk rows:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var row0, row1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "disk 0 ") {
+			row0 = l
+		}
+		if strings.HasPrefix(l, "disk 1 ") {
+			row1 = l
+		}
+	}
+	if !strings.Contains(row0, "#") || !strings.Contains(row0, "_") {
+		t.Errorf("disk 0 row should show busy then standby: %q", row0)
+	}
+	if !strings.Contains(row1, ".") || !strings.Contains(row1, "-") {
+		t.Errorf("disk 1 row should show full-speed then low-RPM idle: %q", row1)
+	}
+	// Busy wins bucket conflicts.
+	if row0[len("disk 0 ")] != '#' {
+		t.Errorf("first bucket of disk 0 should be busy: %q", row0)
+	}
+}
+
+func TestRenderEmptyAndDefaults(t *testing.T) {
+	r := NewRecorder()
+	var b strings.Builder
+	if err := r.Render(&b, 0, 15000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no activity") {
+		t.Errorf("empty render = %q", b.String())
+	}
+}
+
+// End to end: record a real TPM simulation and verify the timeline shows a
+// spin-down (standby) and that interval time accounting matches the meter.
+func TestRecorderWithSimulator(t *testing.T) {
+	reqs := []trace.Request{
+		{Arrival: 0, Block: 0, Size: 4096},
+		{Arrival: 100, Block: 0, Size: 4096},
+		{Arrival: 101, Block: 8, Size: 4096},
+	}
+	rec := NewRecorder()
+	diskOf := func(b int64) (int, error) { return int((b / 8) % 2), nil }
+	res, err := sim.Run(reqs, diskOf, sim.Config{
+		Model:    disk.Ultrastar36Z15(),
+		NumDisks: 2,
+		Policy:   sim.TPM,
+		Record:   rec.Record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no intervals recorded")
+	}
+	// Total recorded time per disk equals the meter's accounted time.
+	perDisk := map[int]float64{}
+	last := map[int]float64{}
+	for _, iv := range rec.intervals {
+		perDisk[iv.Disk] += iv.To - iv.From
+		if iv.From+1e-9 < last[iv.Disk] {
+			t.Fatalf("intervals for disk %d out of order: %v before %v", iv.Disk, iv.From, last[iv.Disk])
+		}
+		last[iv.Disk] = iv.To
+	}
+	for d := 0; d < 2; d++ {
+		want := res.PerDisk[d].Meter.TotalTime()
+		if got := perDisk[d]; got < want-1e-6 || got > want+1e-6 {
+			t.Errorf("disk %d recorded %.6f s, meter has %.6f s", d, got, want)
+		}
+	}
+	var b strings.Builder
+	if err := r2render(rec, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "_") || !strings.Contains(out, "^") {
+		t.Errorf("TPM timeline should show standby and transitions:\n%s", out)
+	}
+	sum := rec.Summary()
+	if !strings.Contains(sum, "disk  busy%") || !strings.Contains(sum, "0 ") {
+		t.Errorf("summary:\n%s", sum)
+	}
+}
+
+func r2render(r *Recorder, b *strings.Builder) error {
+	return r.Render(b, 80, 15000)
+}

@@ -1,0 +1,130 @@
+package diskreuse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const exampleSrc = `
+array A[16384] elem 4096 stripe(unit=32K, factor=4, start=0)
+array B[16384] elem 4096 stripe(unit=32K, factor=4, start=0)
+nest Produce { for i = 0 to 16383 { B[i] = A[i]; } }
+nest Consume { for i = 0 to 16383 { A[i] = B[i]; } }
+`
+
+func open(t *testing.T) *System {
+	t.Helper()
+	sys, err := Open(exampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestOpenAndStats(t *testing.T) {
+	sys := open(t)
+	if sys.NumDisks() != 4 {
+		t.Errorf("NumDisks = %d", sys.NumDisks())
+	}
+	if sys.NumIterations() != 2*16384 {
+		t.Errorf("NumIterations = %d", sys.NumIterations())
+	}
+	orig, restr, err := sys.ReuseStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restr.Runs >= orig.Runs {
+		t.Errorf("restructuring should reduce runs: %d -> %d", orig.Runs, restr.Runs)
+	}
+	if !restr.PerfectReuse {
+		t.Errorf("expected perfect reuse, got %+v", restr)
+	}
+	if restr.AvgRunLen <= orig.AvgRunLen {
+		t.Errorf("run length should grow: %v -> %v", orig.AvgRunLen, restr.AvgRunLen)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open("garbage!"); err == nil {
+		t.Error("parse error expected")
+	}
+	if _, err := Open("array A[4] nest L { for i = 0 to 9 { read A[i]; } }"); err == nil {
+		t.Error("out-of-bounds program must be rejected")
+	}
+}
+
+func TestRestructuredCode(t *testing.T) {
+	sys := open(t)
+	code, err := sys.RestructuredCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"disk0", "disk3", "for ss", "step 4"} {
+		if !strings.Contains(code, want) {
+			t.Errorf("code missing %q", want)
+		}
+	}
+}
+
+func TestSimulatePolicies(t *testing.T) {
+	sys := open(t)
+	base, err := sys.Simulate(SimOptions{Policy: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.EnergyJoules <= 0 || base.Requests <= 0 {
+		t.Fatalf("bad base report %+v", base)
+	}
+	tpmR, err := sys.Simulate(SimOptions{Policy: "TPM", Restructured: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpmR.EnergyJoules >= base.EnergyJoules {
+		t.Errorf("restructured TPM (%v J) should beat base (%v J)", tpmR.EnergyJoules, base.EnergyJoules)
+	}
+	if tpmR.SpinUps == 0 {
+		t.Error("restructured TPM should spin up at least once")
+	}
+	drpmR, err := sys.Simulate(SimOptions{Policy: "DRPM", Restructured: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drpmR.SpeedShifts == 0 {
+		t.Error("restructured DRPM should shift speeds")
+	}
+	if _, err := sys.Simulate(SimOptions{Policy: "warp"}); err == nil {
+		t.Error("unknown policy must fail")
+	}
+}
+
+func TestSimulateMultiProc(t *testing.T) {
+	sys := open(t)
+	for _, restructured := range []bool{false, true} {
+		rep, err := sys.Simulate(SimOptions{Policy: "TPM", Restructured: restructured, Procs: 2})
+		if err != nil {
+			t.Fatalf("restructured=%v: %v", restructured, err)
+		}
+		if rep.EnergyJoules <= 0 {
+			t.Errorf("restructured=%v: bad energy", restructured)
+		}
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	sys := open(t)
+	var buf bytes.Buffer
+	n, err := sys.WriteTrace(&buf, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if n == 0 || lines != n {
+		t.Errorf("wrote %d requests, %d lines", n, lines)
+	}
+	// Five fields per line.
+	first := strings.Fields(strings.SplitN(buf.String(), "\n", 2)[0])
+	if len(first) != 5 {
+		t.Errorf("line has %d fields: %v", len(first), first)
+	}
+}
