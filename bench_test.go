@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -40,11 +41,14 @@ var (
 func defaultSuites(b *testing.B) (*exp.SuiteResult, *exp.SuiteResult) {
 	b.Helper()
 	onceDefault.Do(func() {
-		suite1P, suiteErr = exp.RunSuite(exp.Options{Size: apps.Default, Procs: 1})
+		// Jobs 0 selects GOMAXPROCS: the fixture regenerates on the
+		// parallel path, which is deep-equal to the serial one (see
+		// exp.TestParallelDeterminism).
+		suite1P, suiteErr = exp.RunSuite(exp.Options{Size: apps.Default, Procs: 1, Jobs: 0})
 		if suiteErr != nil {
 			return
 		}
-		suite4P, suiteErr = exp.RunSuite(exp.Options{Size: apps.Default, Procs: 4})
+		suite4P, suiteErr = exp.RunSuite(exp.Options{Size: apps.Default, Procs: 4, Jobs: 0})
 	})
 	if suiteErr != nil {
 		b.Fatal(suiteErr)
@@ -163,6 +167,37 @@ func BenchmarkFig10bPerfMultiCPU(b *testing.B) {
 	b.Log("\n" + exp.Figure10(four))
 	b.ReportMetric(100*four.AverageDegradation(exp.VDRPM), "drpm_perf_pct")
 	b.ReportMetric(100*four.AverageDegradation(exp.VTDRPMm), "t_drpm_m_perf_pct")
+}
+
+// --- harness concurrency benchmarks ---
+
+// benchRunSuite runs the full (app × version) grid at Tiny scale with the
+// given worker count — the unit of work whose serial/parallel ratio is the
+// harness speedup tracked by the bench trajectory.
+func benchRunSuite(b *testing.B, jobs int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		sr, err := exp.RunSuite(exp.Options{Size: apps.Tiny, Procs: 4, Jobs: jobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sr.Apps) != 6 {
+			b.Fatal("short suite")
+		}
+	}
+	b.ReportMetric(float64(jobs), "jobs")
+}
+
+// BenchmarkRunSuiteSerial is the Jobs=1 reference: the whole pipeline on
+// one worker, as the harness ran before the concurrent fan-out.
+func BenchmarkRunSuiteSerial(b *testing.B) {
+	benchRunSuite(b, 1)
+}
+
+// BenchmarkRunSuiteParallel fans the same grid out over all cores; the
+// ns/op ratio against BenchmarkRunSuiteSerial is the harness speedup.
+func BenchmarkRunSuiteParallel(b *testing.B) {
+	benchRunSuite(b, runtime.GOMAXPROCS(0))
 }
 
 // --- component micro-benchmarks ---

@@ -6,10 +6,16 @@
 // Usage:
 //
 //	dpcbench -all                 # everything at the default scale
+//	dpcbench -all -jobs 8         # same, fanned out over 8 workers
 //	dpcbench -table 2             # just Table 2
 //	dpcbench -figure 9b           # just Figure 9(b)
 //	dpcbench -ablation stripes    # stripe-factor sweep
 //	dpcbench -size tiny           # quick run at test scale
+//	dpcbench -all -json BENCH_suite.json   # machine-readable metrics
+//
+// The evaluation grid (app × version × procs) is embarrassingly parallel;
+// -jobs bounds the worker pool (0 = GOMAXPROCS). Results are bit-identical
+// at every -jobs value.
 package main
 
 import (
@@ -34,10 +40,12 @@ func main() {
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		size     = flag.String("size", "default", "workload scale: tiny or default")
 		procs    = flag.Int("procs", 4, "processor count for the (b) figures")
+		jobs     = flag.Int("jobs", 0, "max concurrent pipeline cells (0 = GOMAXPROCS, 1 = serial)")
 		csvPath  = flag.String("csv", "", "also write the suite results in CSV long form to this file")
+		jsonPath = flag.String("json", "", "also write the suite's normalized-energy and degradation metrics as JSON to this file (e.g. BENCH_suite.json)")
 	)
 	flag.Parse()
-	if err := run(*table, *figure, *ablation, *all, *size, *procs, *csvPath); err != nil {
+	if err := run(*table, *figure, *ablation, *all, *size, *procs, *jobs, *csvPath, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "dpcbench:", err)
 		os.Exit(1)
 	}
@@ -53,7 +61,7 @@ func sizeOf(s string) (apps.Size, error) {
 	return 0, fmt.Errorf("unknown size %q", s)
 }
 
-func run(table, figure, ablation string, all bool, sizeName string, procs int, csvPath string) error {
+func run(table, figure, ablation string, all bool, sizeName string, procs, jobs int, csvPath, jsonPath string) error {
 	size, err := sizeOf(sizeName)
 	if err != nil {
 		return err
@@ -63,15 +71,15 @@ func run(table, figure, ablation string, all bool, sizeName string, procs int, c
 	}
 
 	var suite1, suiteN *exp.SuiteResult
-	need1 := all || table == "2" || figure == "9a" || figure == "10a" || csvPath != ""
-	needN := all || figure == "9b" || figure == "10b" || csvPath != ""
+	need1 := all || table == "2" || figure == "9a" || figure == "10a" || csvPath != "" || jsonPath != ""
+	needN := all || figure == "9b" || figure == "10b" || csvPath != "" || jsonPath != ""
 	if need1 {
-		if suite1, err = exp.RunSuite(exp.Options{Size: size, Procs: 1}); err != nil {
+		if suite1, err = exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: jobs}); err != nil {
 			return err
 		}
 	}
 	if needN {
-		if suiteN, err = exp.RunSuite(exp.Options{Size: size, Procs: procs}); err != nil {
+		if suiteN, err = exp.RunSuite(exp.Options{Size: size, Procs: procs, Jobs: jobs}); err != nil {
 			return err
 		}
 	}
@@ -125,21 +133,32 @@ func run(table, figure, ablation string, all bool, sizeName string, procs int, c
 		}
 		fmt.Printf("wrote CSV results to %s\n", csvPath)
 	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := exp.WriteJSON(f, suite1, suiteN); err != nil {
+			return err
+		}
+		fmt.Printf("wrote JSON metrics to %s\n", jsonPath)
+	}
 
 	switch ablation {
 	case "":
 	case "stripes":
 		return ablationStripes(size)
 	case "threshold":
-		return ablationThreshold(size)
+		return ablationThreshold(size, jobs)
 	case "window":
-		return ablationWindow(size)
+		return ablationWindow(size, jobs)
 	case "layoutopt":
 		return ablationLayoutOpt(size)
 	case "proactive":
-		return ablationProactive(size)
+		return ablationProactive(size, jobs)
 	case "raid":
-		return ablationRAID(size)
+		return ablationRAID(size, jobs)
 	default:
 		return fmt.Errorf("unknown ablation %q", ablation)
 	}
@@ -157,10 +176,10 @@ func ablationStripes(size apps.Size) error {
 	return layoutopt.Report(os.Stdout, a)
 }
 
-func ablationThreshold(size apps.Size) error {
+func ablationThreshold(size apps.Size, jobs int) error {
 	fmt.Println("Ablation: TPM idleness threshold sweep (suite average T-TPM-s saving)")
 	for _, thr := range []float64{5, 10, 15.2, 30, 60} {
-		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, TPMThreshold: thr})
+		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: jobs, TPMThreshold: thr})
 		if err != nil {
 			return err
 		}
@@ -170,10 +189,10 @@ func ablationThreshold(size apps.Size) error {
 	return nil
 }
 
-func ablationWindow(size apps.Size) error {
+func ablationWindow(size apps.Size, jobs int) error {
 	fmt.Println("Ablation: DRPM controller window sweep (suite average T-DRPM-s saving)")
 	for _, win := range []int{25, 50, 100, 200, 400} {
-		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, DRPMWindow: win})
+		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: jobs, DRPMWindow: win})
 		if err != nil {
 			return err
 		}
@@ -186,10 +205,10 @@ func ablationWindow(size apps.Size) error {
 // ablationRAID sweeps the RAID-level striping width of Fig. 1 — the paper's
 // footnote reports that low-level striping "generated similar results",
 // i.e. the normalized savings barely move.
-func ablationRAID(size apps.Size) error {
+func ablationRAID(size apps.Size, jobs int) error {
 	fmt.Println("Ablation: RAID-level striping width (suite averages, 1 processor)")
 	for _, w := range []int{1, 2, 4} {
-		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, RAIDWidth: w})
+		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: jobs, RAIDWidth: w})
 		if err != nil {
 			return err
 		}
@@ -201,9 +220,9 @@ func ablationRAID(size apps.Size) error {
 
 // ablationProactive compares reactive T-TPM against the P-TPM extension
 // (compiler-inserted spin-up directives, Son et al. [25]).
-func ablationProactive(size apps.Size) error {
+func ablationProactive(size apps.Size, jobs int) error {
 	fmt.Println("Ablation: proactive spin-up extension (restructured TPM, 1 processor)")
-	sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, Proactive: true})
+	sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: jobs, Proactive: true})
 	if err != nil {
 		return err
 	}

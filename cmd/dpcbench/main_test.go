@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -38,54 +39,101 @@ func capture(t *testing.T, fn func() error) string {
 }
 
 func TestTable1(t *testing.T) {
-	out := capture(t, func() error { return run("1", "", "", false, "tiny", 2, "") })
+	out := capture(t, func() error { return run("1", "", "", false, "tiny", 2, 1, "", "") })
 	if !strings.Contains(out, "IBM Ultrastar 36Z15") || !strings.Contains(out, "15.2 sec") {
 		t.Errorf("Table 1 output:\n%s", out)
 	}
 }
 
 func TestTable2AndFigures(t *testing.T) {
-	out := capture(t, func() error { return run("2", "", "", false, "tiny", 2, "") })
+	out := capture(t, func() error { return run("2", "", "", false, "tiny", 2, 1, "", "") })
 	if !strings.Contains(out, "Number of Disk Reqs") || !strings.Contains(out, "Cholesky") {
 		t.Errorf("Table 2 output:\n%s", out)
 	}
-	out = capture(t, func() error { return run("", "9a", "", false, "tiny", 2, "") })
+	out = capture(t, func() error { return run("", "9a", "", false, "tiny", 2, 0, "", "") })
 	if !strings.Contains(out, "Figure 9(a)") {
 		t.Errorf("Figure 9a output:\n%s", out)
 	}
-	out = capture(t, func() error { return run("", "10b", "", false, "tiny", 2, "") })
+	out = capture(t, func() error { return run("", "10b", "", false, "tiny", 2, 0, "", "") })
 	if !strings.Contains(out, "Figure 10(b) 2 processors") || !strings.Contains(out, "T-DRPM-m") {
 		t.Errorf("Figure 10b output:\n%s", out)
 	}
 }
 
 func TestAblations(t *testing.T) {
-	out := capture(t, func() error { return run("", "", "threshold", false, "tiny", 2, "") })
+	out := capture(t, func() error { return run("", "", "threshold", false, "tiny", 2, 0, "", "") })
 	if !strings.Contains(out, "threshold  15.2 s") {
 		t.Errorf("threshold ablation output:\n%s", out)
 	}
-	out = capture(t, func() error { return run("", "", "window", false, "tiny", 2, "") })
+	out = capture(t, func() error { return run("", "", "window", false, "tiny", 2, 0, "", "") })
 	if !strings.Contains(out, "window  100 requests") {
 		t.Errorf("window ablation output:\n%s", out)
 	}
-	out = capture(t, func() error { return run("", "", "stripes", false, "tiny", 2, "") })
+	out = capture(t, func() error { return run("", "", "stripes", false, "tiny", 2, 0, "", "") })
 	if !strings.Contains(out, "<== best") {
 		t.Errorf("stripes ablation output:\n%s", out)
 	}
 }
 
 func TestErrors(t *testing.T) {
-	if err := run("", "", "", false, "huge", 2, ""); err == nil {
+	if err := run("", "", "", false, "huge", 2, 0, "", ""); err == nil {
 		t.Error("bad size must fail")
 	}
-	if err := run("", "", "bogus", false, "tiny", 2, ""); err == nil {
+	if err := run("", "", "bogus", false, "tiny", 2, 0, "", ""); err == nil {
 		t.Error("bad ablation must fail")
+	}
+}
+
+// TestJSONOutput exercises the -json perf-trajectory writer: the file must
+// decode as a two-suite array (1P and the -procs grid) carrying the
+// normalized-energy and degradation metrics.
+func TestJSONOutput(t *testing.T) {
+	path := t.TempDir() + "/BENCH_suite.json"
+	out := capture(t, func() error { return run("", "9a", "", false, "tiny", 2, 4, "", path) })
+	if !strings.Contains(out, "wrote JSON metrics") {
+		t.Errorf("missing JSON confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suites []struct {
+		Procs    int `json:"procs"`
+		Versions []struct {
+			Version         string  `json:"version"`
+			AvgEnergySaving float64 `json:"avg_energy_saving"`
+			AvgDegradation  float64 `json:"avg_perf_degradation"`
+		} `json:"versions"`
+		Apps []struct {
+			App     string `json:"app"`
+			Results []struct {
+				Version    string  `json:"version"`
+				NormEnergy float64 `json:"norm_energy"`
+			} `json:"results"`
+		} `json:"apps"`
+	}
+	if err := json.Unmarshal(data, &suites); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if len(suites) != 2 || suites[0].Procs != 1 || suites[1].Procs != 2 {
+		t.Fatalf("want suites for procs 1 and 2, got %+v", suites)
+	}
+	if len(suites[0].Apps) != 6 || len(suites[0].Versions) != 5 || len(suites[1].Versions) != 7 {
+		t.Errorf("wrong shape: %d apps, %d/%d versions",
+			len(suites[0].Apps), len(suites[0].Versions), len(suites[1].Versions))
+	}
+	for _, a := range suites[0].Apps {
+		for _, r := range a.Results {
+			if r.Version == "Base" && r.NormEnergy != 1 {
+				t.Errorf("%s: Base norm_energy = %v", a.App, r.NormEnergy)
+			}
+		}
 	}
 }
 
 func TestCSVOutput(t *testing.T) {
 	path := t.TempDir() + "/out.csv"
-	out := capture(t, func() error { return run("", "9a", "", false, "tiny", 2, path) })
+	out := capture(t, func() error { return run("", "9a", "", false, "tiny", 2, 0, path, "") })
 	if !strings.Contains(out, "wrote CSV results") {
 		t.Errorf("missing CSV confirmation:\n%s", out)
 	}

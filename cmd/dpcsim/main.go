@@ -7,17 +7,25 @@
 // Usage:
 //
 //	dpcsim -policy tpm [-disks 8] [-unit 32768] [-start 0] [trace.txt]
+//	dpcsim -policy all -jobs 3 trace.txt   # compare all policies at once
 //
-// With no file the trace is read from standard input.
+// With no file the trace is read from standard input. -policy accepts a
+// single policy, a comma-separated list (e.g. "none,tpm,drpm"), or "all";
+// with more than one policy the simulations fan out over -jobs workers
+// against the shared read-only trace and the reports print in the order
+// the policies were given.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"diskreuse/internal/disk"
+	"diskreuse/internal/exp"
 	"diskreuse/internal/sim"
 	"diskreuse/internal/trace"
 	"diskreuse/internal/viz"
@@ -25,22 +33,55 @@ import (
 
 func main() {
 	var (
-		policy   = flag.String("policy", "none", "power management policy: none, tpm, or drpm")
+		policy   = flag.String("policy", "none", "power management policy: none, tpm, drpm, a comma-separated list, or all")
 		disks    = flag.Int("disks", 8, "number of I/O nodes (stripe factor)")
 		unit     = flag.Int64("unit", 32<<10, "stripe unit in bytes")
 		start    = flag.Int("start", 0, "starting disk")
 		pageSize = flag.Int64("page", 4096, "page size the trace's blocks are numbered in")
 		perDisk  = flag.Bool("perdisk", false, "print per-disk statistics")
 		timeline = flag.Int("timeline", 0, "render an ASCII disk-activity timeline this many columns wide")
+		jobs     = flag.Int("jobs", 0, "max concurrent policy simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*policy, *disks, *unit, *start, *pageSize, *perDisk, *timeline); err != nil {
+	if err := run(*policy, *disks, *unit, *start, *pageSize, *perDisk, *timeline, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "dpcsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(policy string, disks int, unit int64, start int, pageSize int64, perDisk bool, timeline int) error {
+// parsePolicies expands the -policy argument into the list of policies to
+// simulate, in report order.
+func parsePolicies(s string) ([]sim.Policy, error) {
+	if strings.EqualFold(s, "all") {
+		return []sim.Policy{sim.NoPM, sim.TPM, sim.DRPM}, nil
+	}
+	var pols []sim.Policy
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "none":
+			pols = append(pols, sim.NoPM)
+		case "tpm", "TPM":
+			pols = append(pols, sim.TPM)
+		case "drpm", "DRPM":
+			pols = append(pols, sim.DRPM)
+		default:
+			return nil, fmt.Errorf("unknown policy %q", name)
+		}
+	}
+	if len(pols) == 0 {
+		return nil, fmt.Errorf("no policy given")
+	}
+	return pols, nil
+}
+
+func run(policy string, disks int, unit int64, start int, pageSize int64, perDisk bool, timeline, jobs int) error {
+	pols, err := parsePolicies(policy)
+	if err != nil {
+		return err
+	}
+	if timeline > 0 && len(pols) > 1 {
+		return fmt.Errorf("-timeline requires a single policy, got %d", len(pols))
+	}
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
@@ -53,17 +94,6 @@ func run(policy string, disks int, unit int64, start int, pageSize int64, perDis
 	reqs, err := trace.Decode(in)
 	if err != nil {
 		return err
-	}
-	var pol sim.Policy
-	switch policy {
-	case "none":
-		pol = sim.NoPM
-	case "tpm", "TPM":
-		pol = sim.TPM
-	case "drpm", "DRPM":
-		pol = sim.DRPM
-	default:
-		return fmt.Errorf("unknown policy %q", policy)
 	}
 	if unit%pageSize != 0 {
 		return fmt.Errorf("stripe unit %d must be a multiple of the page size %d", unit, pageSize)
@@ -79,31 +109,51 @@ func run(policy string, disks int, unit int64, start int, pageSize int64, perDis
 		return fmt.Errorf("starting disk %d outside 0..%d", start, disks-1)
 	}
 	model := disk.Ultrastar36Z15()
-	cfg := sim.Config{
-		Model:    model,
-		NumDisks: disks,
-		Policy:   pol,
-	}
 	var rec *viz.Recorder
 	if timeline > 0 {
 		rec = viz.NewRecorder()
-		cfg.Record = rec.Record
 	}
-	res, err := sim.Run(reqs, diskOf, cfg)
+
+	// The trace and the block-to-disk mapping are shared read-only; each
+	// policy's simulation is independent, so they fan out over the pool
+	// and the reports print in the order the policies were given.
+	results := make([]*sim.Result, len(pols))
+	err = exp.ForEach(context.Background(), len(pols), jobs, func(_ context.Context, i int) error {
+		cfg := sim.Config{
+			Model:    model,
+			NumDisks: disks,
+			Policy:   pols[i],
+		}
+		if rec != nil {
+			cfg.Record = rec.Record
+		}
+		res, err := sim.Run(reqs, diskOf, cfg)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("requests:        %d\n", res.Requests)
-	fmt.Printf("policy:          %s\n", res.Policy)
-	fmt.Printf("energy:          %.1f J\n", res.Energy)
-	fmt.Printf("disk I/O time:   %.1f ms\n", res.IOTime*1e3)
-	fmt.Printf("response time:   %.1f ms\n", res.ResponseTime*1e3)
-	fmt.Printf("makespan:        %.3f s\n", res.Makespan)
-	if perDisk {
-		for d, st := range res.PerDisk {
-			fmt.Printf("disk %d: req=%d busy=%.1fs idle=%.1fs standby=%.1fs spinups=%d shifts=%d energy=%.1fJ\n",
-				d, st.Requests, st.Meter.ActiveTime, st.Meter.IdleTime, st.Meter.StandbyTime,
-				st.Meter.SpinUps, st.Meter.SpeedShifts, st.Meter.Total())
+
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("requests:        %d\n", res.Requests)
+		fmt.Printf("policy:          %s\n", res.Policy)
+		fmt.Printf("energy:          %.1f J\n", res.Energy)
+		fmt.Printf("disk I/O time:   %.1f ms\n", res.IOTime*1e3)
+		fmt.Printf("response time:   %.1f ms\n", res.ResponseTime*1e3)
+		fmt.Printf("makespan:        %.3f s\n", res.Makespan)
+		if perDisk {
+			for d, st := range res.PerDisk {
+				fmt.Printf("disk %d: req=%d busy=%.1fs idle=%.1fs standby=%.1fs spinups=%d shifts=%d energy=%.1fJ\n",
+					d, st.Requests, st.Meter.ActiveTime, st.Meter.IdleTime, st.Meter.StandbyTime,
+					st.Meter.SpinUps, st.Meter.SpeedShifts, st.Meter.Total())
+			}
 		}
 	}
 	if rec != nil {

@@ -71,7 +71,7 @@ func TestRunPolicies(t *testing.T) {
 	for _, pol := range []string{"none", "tpm", "drpm"} {
 		resetFlags(t)
 		out := withStdio(t, traceText, func() error {
-			return run(pol, 4, 32<<10, 0, 4096, true, 60)
+			return run(pol, 4, 32<<10, 0, 4096, true, 60, 1)
 		})
 		for _, want := range []string{"requests:        5", "energy:", "disk I/O time:", "disk 0:"} {
 			if !strings.Contains(out, want) {
@@ -84,23 +84,63 @@ func TestRunPolicies(t *testing.T) {
 func TestRunTPMSleeps(t *testing.T) {
 	resetFlags(t)
 	out := withStdio(t, traceText, func() error {
-		return run("tpm", 4, 32<<10, 0, 4096, true, 60)
+		return run("tpm", 4, 32<<10, 0, 4096, true, 60, 1)
 	})
 	if !strings.Contains(out, "spinups=1") {
 		t.Errorf("expected one spin-up on disk 0:\n%s", out)
 	}
 }
 
+// TestRunAllPolicies drives the multi-policy fan-out: "-policy all" must
+// print one report block per policy, in the fixed none/TPM/DRPM order,
+// regardless of how many workers simulate concurrently.
+func TestRunAllPolicies(t *testing.T) {
+	for _, jobs := range []int{1, 3} {
+		resetFlags(t)
+		out := withStdio(t, traceText, func() error {
+			return run("all", 4, 32<<10, 0, 4096, false, 0, jobs)
+		})
+		for _, want := range []string{"policy:          NoPM", "policy:          TPM", "policy:          DRPM"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("jobs=%d output missing %q:\n%s", jobs, want, out)
+			}
+		}
+		if i, j := strings.Index(out, "NoPM"), strings.Index(out, "DRPM"); i > j {
+			t.Errorf("jobs=%d: policy reports out of order:\n%s", jobs, out)
+		}
+		if got := strings.Count(out, "requests:        5"); got != 3 {
+			t.Errorf("jobs=%d: want 3 report blocks, got %d:\n%s", jobs, got, out)
+		}
+	}
+}
+
+// The comma-list form selects exactly the named policies.
+func TestRunPolicyList(t *testing.T) {
+	resetFlags(t)
+	out := withStdio(t, traceText, func() error {
+		return run("tpm,drpm", 4, 32<<10, 0, 4096, false, 0, 2)
+	})
+	if strings.Contains(out, "NoPM") {
+		t.Errorf("NoPM should not run for \"tpm,drpm\":\n%s", out)
+	}
+	if !strings.Contains(out, "TPM") || !strings.Contains(out, "DRPM") {
+		t.Errorf("missing policy report:\n%s", out)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	resetFlags(t)
-	if err := run("warp", 4, 32<<10, 0, 4096, false, 0); err == nil {
+	if err := run("warp", 4, 32<<10, 0, 4096, false, 0, 1); err == nil {
 		t.Error("unknown policy must fail")
 	}
-	if err := run("none", 4, 1000, 0, 4096, false, 0); err == nil {
+	if err := run("none", 4, 1000, 0, 4096, false, 0, 1); err == nil {
 		t.Error("unit not multiple of page must fail")
 	}
-	if err := run("none", 4, 32<<10, 9, 4096, false, 0); err == nil {
+	if err := run("none", 4, 32<<10, 9, 4096, false, 0, 1); err == nil {
 		t.Error("start >= disks must fail")
+	}
+	if err := run("all", 4, 32<<10, 0, 4096, false, 40, 1); err == nil {
+		t.Error("-timeline with multiple policies must fail")
 	}
 	// Malformed trace on stdin.
 	resetFlags(t)
@@ -112,7 +152,7 @@ func TestRunErrors(t *testing.T) {
 		inW.WriteString("not a trace line\n")
 		inW.Close()
 	}()
-	if err := run("none", 4, 32<<10, 0, 4096, false, 0); err == nil {
+	if err := run("none", 4, 32<<10, 0, 4096, false, 0, 1); err == nil {
 		t.Error("bad trace must fail")
 	}
 }

@@ -138,11 +138,11 @@ func (r *Restructurer) OriginalSchedule() *Schedule {
 // the per-disk ready queue.
 type idHeap []int
 
-func (h idHeap) Len() int            { return len(h) }
-func (h idHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h idHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *idHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
-func (h *idHeap) Pop() interface{} {
+func (h idHeap) Len() int           { return len(h) }
+func (h idHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h idHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *idHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *idHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]

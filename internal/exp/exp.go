@@ -6,7 +6,9 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 
 	"diskreuse/internal/apps"
 	"diskreuse/internal/core"
@@ -75,6 +77,12 @@ type Options struct {
 	// Proactive adds the P-TPM extension version (restructured schedule
 	// with compiler-inserted spin-up hints) to every run.
 	Proactive bool
+	// Jobs bounds how many pipeline cells — per-app artifact preparations
+	// and (app, version) simulations — run concurrently. Zero selects
+	// runtime.GOMAXPROCS(0); 1 forces the fully serial path. Results are
+	// deterministic and bit-identical at every Jobs value: cells share only
+	// read-only memoized artifacts, and each writes its own result slot.
+	Jobs int
 }
 
 func (o *Options) fill() {
@@ -84,6 +92,18 @@ func (o *Options) fill() {
 	if o.Model.Name == "" {
 		o.Model = disk.Ultrastar36Z15()
 	}
+	if o.Jobs <= 0 {
+		o.Jobs = runtime.GOMAXPROCS(0)
+	}
+}
+
+// versionsOf lists the versions an Options evaluates, in report order.
+func versionsOf(opt Options) []Version {
+	vs := VersionsFor(opt.Procs)
+	if opt.Proactive {
+		vs = append(vs, VPTPM)
+	}
+	return vs
 }
 
 // RunResult is one (app, version) measurement.
@@ -165,10 +185,13 @@ func (sr *SuiteResult) AverageDegradation(v Version) float64 {
 	return sum / float64(n)
 }
 
-// execution is a fully prepared run: phases plus clustering stats.
+// execution is a fully prepared run: phases, clustering stats, and the
+// generated request trace. Once prepared it is shared read-only by every
+// version simulation that replays it.
 type execution struct {
 	phases   []trace.Phase
 	diskRuns int
+	reqs     []trace.Request
 }
 
 // prepare builds the three execution plans a processor count needs:
@@ -263,10 +286,23 @@ func runsOf(r *core.Restructurer, order []int) int {
 	return runs
 }
 
-// RunApp evaluates one application under all versions for the configured
-// processor count.
-func RunApp(a apps.App, opt Options) (*AppResult, error) {
-	opt.fill()
+// artifacts memoizes the expensive per-application pipeline stages — the
+// parsed and sema-analyzed program, the disk layout, and the prepared
+// executions with their generated traces — so the seven version
+// simulations share them read-only instead of re-deriving them. One
+// artifacts value is computed per (app, procs) cell; every field is
+// immutable after prepareApp returns.
+type artifacts struct {
+	app                  apps.App
+	prog                 *sema.Program
+	lay                  *layout.Layout
+	orig, restrS, restrM *execution
+}
+
+// prepareApp runs the compile → layout → restructure → trace stages of the
+// pipeline once for an application, producing the shared artifacts every
+// version simulation replays.
+func prepareApp(a apps.App, opt Options) (*artifacts, error) {
 	p, err := a.Compile()
 	if err != nil {
 		return nil, err
@@ -283,103 +319,141 @@ func RunApp(a apps.App, opt Options) (*AppResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", a.Name, err)
 	}
-
 	genCfg := trace.GenConfig{
 		ComputePerIter:  a.ComputePerIter,
 		CachePages:      opt.CachePages,
 		ServiceEstimate: opt.Model.FullSpeedService(lay.PageSize),
 	}
-	traces := map[*execution][]trace.Request{}
 	for _, e := range []*execution{orig, restrS, restrM} {
 		if e == nil {
 			continue
 		}
-		tr, err := trace.Generate(r, e.phases, genCfg)
-		if err != nil {
+		if e.reqs, err = trace.Generate(r, e.phases, genCfg); err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", a.Name, err)
 		}
-		traces[e] = tr
 	}
+	return &artifacts{app: a, prog: p, lay: lay, orig: orig, restrS: restrS, restrM: restrM}, nil
+}
 
-	execOf := func(v Version) *execution {
-		switch v {
-		case VTTPMs, VTDRPMs:
-			return restrS
-		case VTTPMm, VTDRPMm:
-			return restrM
-		case VPTPM:
-			// The extension applies to the best transformed schedule
-			// available: layout-aware when multiprocessing, single-CPU
-			// restructured otherwise.
-			if restrM != nil {
-				return restrM
-			}
-			return restrS
-		default:
-			return orig
+// execOf selects the execution a version replays.
+func (art *artifacts) execOf(v Version) *execution {
+	switch v {
+	case VTTPMs, VTDRPMs:
+		return art.restrS
+	case VTTPMm, VTDRPMm:
+		return art.restrM
+	case VPTPM:
+		// The extension applies to the best transformed schedule
+		// available: layout-aware when multiprocessing, single-CPU
+		// restructured otherwise.
+		if art.restrM != nil {
+			return art.restrM
 		}
+		return art.restrS
+	default:
+		return art.orig
 	}
-	simCfg := sim.Config{
+}
+
+// runVersion simulates one version against the memoized artifacts and
+// returns its raw (unnormalized) measurement. It only reads art, so any
+// number of runVersion calls may run concurrently over the same artifacts.
+func (art *artifacts) runVersion(v Version, opt Options) (RunResult, error) {
+	e := art.execOf(v)
+	cfg := sim.Config{
 		Model:        opt.Model,
-		NumDisks:     lay.NumDisks(),
+		NumDisks:     art.lay.NumDisks(),
 		TPMThreshold: opt.TPMThreshold,
 		DRPMWindow:   opt.DRPMWindow,
 		DRPMRaise:    opt.DRPMRaise,
 		DRPMLower:    opt.DRPMLower,
 		RAIDWidth:    opt.RAIDWidth,
+		Policy:       policyOf(v),
 	}
-
-	versions := VersionsFor(opt.Procs)
-	if opt.Proactive {
-		versions = append(versions, VPTPM)
-	}
-	ar := &AppResult{App: a, DataBytes: dataBytes(p)}
-	var baseEnergy, baseIOTime float64
-	for _, v := range versions {
-		e := execOf(v)
-		cfg := simCfg
-		cfg.Policy = policyOf(v)
-		if v == VPTPM {
-			cfg.Policy = sim.TPM
-			thr := cfg.TPMThreshold
-			if thr <= 0 {
-				thr = cfg.Model.BreakEven
-			}
-			cfg.Hints, err = trace.ProactiveHints(traces[e], lay.PageDisk,
-				thr, cfg.Model.SpinDownTime, cfg.Model.SpinUpTime)
-			if err != nil {
-				return nil, fmt.Errorf("exp: %s/%s: %w", a.Name, v, err)
-			}
+	if v == VPTPM {
+		cfg.Policy = sim.TPM
+		thr := cfg.TPMThreshold
+		if thr <= 0 {
+			thr = cfg.Model.BreakEven
 		}
-		res, err := sim.Run(traces[e], lay.PageDisk, cfg)
+		var err error
+		cfg.Hints, err = trace.ProactiveHints(e.reqs, art.lay.PageDisk,
+			thr, cfg.Model.SpinDownTime, cfg.Model.SpinUpTime)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s/%s: %w", a.Name, v, err)
+			return RunResult{}, fmt.Errorf("exp: %s/%s: %w", art.app.Name, v, err)
 		}
-		rr := RunResult{
-			App:      a.Name,
-			Version:  v,
-			Procs:    opt.Procs,
-			Energy:   res.Energy,
-			IOTime:   res.IOTime,
-			Response: res.ResponseTime,
-			Requests: res.Requests,
-			DiskRuns: e.diskRuns,
-		}
-		for _, st := range res.PerDisk {
-			rr.SpinUps += st.Meter.SpinUps
-			rr.SpeedShifts += st.Meter.SpeedShifts
-		}
-		if v == VBase {
-			baseEnergy, baseIOTime = res.Energy, res.IOTime
-		}
-		if baseEnergy > 0 {
-			rr.NormEnergy = rr.Energy / baseEnergy
-		}
-		if baseIOTime > 0 {
-			rr.PerfDegradation = (rr.IOTime - baseIOTime) / baseIOTime
-		}
-		ar.Results = append(ar.Results, rr)
 	}
+	res, err := sim.Run(e.reqs, art.lay.PageDisk, cfg)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("exp: %s/%s: %w", art.app.Name, v, err)
+	}
+	rr := RunResult{
+		App:      art.app.Name,
+		Version:  v,
+		Procs:    opt.Procs,
+		Energy:   res.Energy,
+		IOTime:   res.IOTime,
+		Response: res.ResponseTime,
+		Requests: res.Requests,
+		DiskRuns: e.diskRuns,
+	}
+	for _, st := range res.PerDisk {
+		rr.SpinUps += st.Meter.SpinUps
+		rr.SpeedShifts += st.Meter.SpeedShifts
+	}
+	return rr, nil
+}
+
+// normalize fills the Base-relative metrics once every version of an app
+// has been measured. Doing this after the fan-out (rather than interleaved
+// with it, as the serial pipeline used to) keeps the math identical at
+// every Jobs value: each version's raw numbers never depend on evaluation
+// order.
+func normalize(ar *AppResult) {
+	base, ok := ar.Get(VBase)
+	if !ok {
+		return
+	}
+	for i := range ar.Results {
+		r := &ar.Results[i]
+		if base.Energy > 0 {
+			r.NormEnergy = r.Energy / base.Energy
+		}
+		if base.IOTime > 0 {
+			r.PerfDegradation = (r.IOTime - base.IOTime) / base.IOTime
+		}
+	}
+}
+
+// RunApp evaluates one application under all versions for the configured
+// processor count.
+func RunApp(a apps.App, opt Options) (*AppResult, error) {
+	return RunAppContext(context.Background(), a, opt)
+}
+
+// RunAppContext is RunApp with cancellation: the version simulations fan
+// out across opt.Jobs workers, and the first error (or ctx cancellation)
+// stops the remaining ones.
+func RunAppContext(ctx context.Context, a apps.App, opt Options) (*AppResult, error) {
+	opt.fill()
+	art, err := prepareApp(a, opt)
+	if err != nil {
+		return nil, err
+	}
+	versions := versionsOf(opt)
+	ar := &AppResult{App: a, DataBytes: dataBytes(art.prog), Results: make([]RunResult, len(versions))}
+	err = ForEach(ctx, len(versions), opt.Jobs, func(ctx context.Context, i int) error {
+		rr, err := art.runVersion(versions[i], opt)
+		if err != nil {
+			return err
+		}
+		ar.Results[i] = rr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	normalize(ar)
 	return ar, nil
 }
 
@@ -393,14 +467,56 @@ func dataBytes(p *sema.Program) int64 {
 
 // RunSuite evaluates the whole application suite.
 func RunSuite(opt Options) (*SuiteResult, error) {
+	return RunSuiteContext(context.Background(), opt)
+}
+
+// RunSuiteContext evaluates the suite with a two-stage fan-out over
+// opt.Jobs workers: first every application's pipeline artifacts (compile,
+// restructure, trace generation) are prepared concurrently, then every
+// (app, version) simulation cell runs concurrently against the memoized,
+// read-only artifacts. Results land in fixed (app, version) slots, so the
+// output is deterministic — deep-equal to the Jobs=1 serial run — and the
+// first error (or ctx cancellation) stops the remaining work.
+func RunSuiteContext(ctx context.Context, opt Options) (*SuiteResult, error) {
 	opt.fill()
-	sr := &SuiteResult{Procs: opt.Procs}
-	for _, a := range apps.Suite(opt.Size) {
-		ar, err := RunApp(a, opt)
+	suite := apps.Suite(opt.Size)
+	versions := versionsOf(opt)
+
+	arts := make([]*artifacts, len(suite))
+	err := ForEach(ctx, len(suite), opt.Jobs, func(ctx context.Context, i int) error {
+		a, err := prepareApp(suite[i], opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sr.Apps = append(sr.Apps, *ar)
+		arts[i] = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sr := &SuiteResult{Procs: opt.Procs, Apps: make([]AppResult, len(suite))}
+	for i := range suite {
+		sr.Apps[i] = AppResult{
+			App:       suite[i],
+			DataBytes: dataBytes(arts[i].prog),
+			Results:   make([]RunResult, len(versions)),
+		}
+	}
+	err = ForEach(ctx, len(suite)*len(versions), opt.Jobs, func(ctx context.Context, k int) error {
+		i, j := k/len(versions), k%len(versions)
+		rr, err := arts[i].runVersion(versions[j], opt)
+		if err != nil {
+			return err
+		}
+		sr.Apps[i].Results[j] = rr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range sr.Apps {
+		normalize(&sr.Apps[i])
 	}
 	return sr, nil
 }

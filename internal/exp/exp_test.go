@@ -3,6 +3,7 @@ package exp
 import (
 	"encoding/csv"
 	"math"
+	"reflect"
 	"strconv"
 	"strings"
 	"sync"
@@ -219,6 +220,60 @@ func TestShapeMultiProcessor(t *testing.T) {
 		if s4(v) <= 0 {
 			t.Errorf("%s should save energy at 4P, got %.1f%%", v, 100*s4(v))
 		}
+	}
+}
+
+// TestParallelDeterminism is the determinism regression test for the
+// concurrent harness: RunSuite fanned out over 8 workers must produce a
+// SuiteResult deep-equal — bit-identical floats included — to the fully
+// serial Jobs=1 run, for both single- and multi-processor grids. The
+// fan-out only shares read-only memoized artifacts and writes results into
+// fixed (app, version) slots, so any divergence here means shared mutable
+// state leaked into the pipeline.
+func TestParallelDeterminism(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		serial, err := RunSuite(Options{Size: apps.Tiny, Procs: procs, Jobs: 1})
+		if err != nil {
+			t.Fatalf("procs=%d serial: %v", procs, err)
+		}
+		parallel, err := RunSuite(Options{Size: apps.Tiny, Procs: procs, Jobs: 8})
+		if err != nil {
+			t.Fatalf("procs=%d parallel: %v", procs, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("procs=%d: parallel result differs from serial", procs)
+			for i := range serial.Apps {
+				for j := range serial.Apps[i].Results {
+					s, p := serial.Apps[i].Results[j], parallel.Apps[i].Results[j]
+					if s != p {
+						t.Logf("  %s/%s: serial %+v != parallel %+v", s.App, s.Version, s, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// RunApp's per-version fan-out must be deterministic too, including the
+// P-TPM extension (whose hints derive from the shared trace).
+func TestRunAppParallelDeterminism(t *testing.T) {
+	a, err := apps.ByName("FFT", apps.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Size: apps.Tiny, Procs: 4, Proactive: true}
+	opt.Jobs = 1
+	serial, err := RunApp(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Jobs = 8
+	parallel, err := RunApp(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("RunApp parallel result differs from serial:\n%+v\n%+v", serial, parallel)
 	}
 }
 

@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachVisitsEveryIndex(t *testing.T) {
+	for _, jobs := range []int{0, 1, 3, 64} {
+		var hits [57]atomic.Int32
+		err := ForEach(context.Background(), len(hits), jobs, func(_ context.Context, i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Errorf("jobs=%d: index %d visited %d times", jobs, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var order []int
+	err := ForEach(context.Background(), 10, 1, func(_ context.Context, i int) error {
+		order = append(order, i) // safe: jobs=1 runs inline
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestForEachFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Int32
+	err := ForEach(context.Background(), 1000, 4, func(ctx context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		if ctx.Err() != nil {
+			after.Add(1)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The pool must stop dispatching promptly after the error: with 1000
+	// indices and 4 workers, a canceled context should have cut the sweep
+	// well short (workers check ctx before each dispatch).
+	if after.Load() > 996 {
+		t.Errorf("cancellation did not stop dispatch (%d calls saw a canceled ctx)", after.Load())
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const jobs = 3
+	var cur, peak atomic.Int32
+	err := ForEach(context.Background(), 50, jobs, func(_ context.Context, i int) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > jobs {
+		t.Errorf("observed %d concurrent calls, want <= %d", p, jobs)
+	}
+}
+
+func TestForEachParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	ran := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(ctx, 1_000_000, 2, func(ctx context.Context, i int) error {
+			mu.Lock()
+			ran++
+			mu.Unlock()
+			time.Sleep(100 * time.Microsecond)
+			return nil
+		})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ForEach did not return after parent cancellation")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran >= 1_000_000 {
+		t.Error("cancellation should have stopped the sweep early")
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(context.Context, int) error {
+		t.Error("fn must not run for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

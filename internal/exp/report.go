@@ -2,6 +2,7 @@ package exp
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -148,6 +149,90 @@ func Summary(sr *SuiteResult) string {
 	}
 	w.Flush()
 	return b.String()
+}
+
+// SuiteJSON is the machine-readable mirror of one suite run: the
+// per-version suite averages behind Summary plus the per-(app, version)
+// normalized metrics behind Figures 9 and 10. It is the record format of
+// the BENCH_suite.json perf-trajectory file that cmd/dpcbench -json
+// writes.
+type SuiteJSON struct {
+	Procs    int           `json:"procs"`
+	Versions []VersionJSON `json:"versions"`
+	Apps     []AppJSON     `json:"apps"`
+}
+
+// VersionJSON holds one version's suite-average metrics.
+type VersionJSON struct {
+	Version         string  `json:"version"`
+	AvgEnergySaving float64 `json:"avg_energy_saving"`
+	AvgDegradation  float64 `json:"avg_perf_degradation"`
+}
+
+// AppJSON holds one application's per-version results.
+type AppJSON struct {
+	App       string       `json:"app"`
+	DataBytes int64        `json:"data_bytes"`
+	Results   []ResultJSON `json:"results"`
+}
+
+// ResultJSON is one (app, version) measurement.
+type ResultJSON struct {
+	Version         string  `json:"version"`
+	EnergyJ         float64 `json:"energy_j"`
+	NormEnergy      float64 `json:"norm_energy"`
+	IOTimeS         float64 `json:"io_time_s"`
+	PerfDegradation float64 `json:"perf_degradation"`
+	ResponseS       float64 `json:"response_s"`
+	Requests        int     `json:"requests"`
+	SpinUps         int     `json:"spin_ups"`
+	SpeedShifts     int     `json:"speed_shifts"`
+}
+
+// ToJSON converts a suite result to its machine-readable form.
+func ToJSON(sr *SuiteResult) SuiteJSON {
+	out := SuiteJSON{Procs: sr.Procs}
+	for _, v := range VersionsFor(sr.Procs) {
+		out.Versions = append(out.Versions, VersionJSON{
+			Version:         string(v),
+			AvgEnergySaving: sr.AverageSaving(v),
+			AvgDegradation:  sr.AverageDegradation(v),
+		})
+	}
+	for i := range sr.Apps {
+		ar := &sr.Apps[i]
+		aj := AppJSON{App: ar.App.Name, DataBytes: ar.DataBytes}
+		for _, r := range ar.Results {
+			aj.Results = append(aj.Results, ResultJSON{
+				Version:         string(r.Version),
+				EnergyJ:         r.Energy,
+				NormEnergy:      r.NormEnergy,
+				IOTimeS:         r.IOTime,
+				PerfDegradation: r.PerfDegradation,
+				ResponseS:       r.Response,
+				Requests:        r.Requests,
+				SpinUps:         r.SpinUps,
+				SpeedShifts:     r.SpeedShifts,
+			})
+		}
+		out.Apps = append(out.Apps, aj)
+	}
+	return out
+}
+
+// WriteJSON emits one or more suite results (e.g. the 1-processor and
+// 4-processor grids) as an indented JSON array of SuiteJSON records.
+func WriteJSON(w io.Writer, suites ...*SuiteResult) error {
+	out := make([]SuiteJSON, 0, len(suites))
+	for _, sr := range suites {
+		if sr == nil {
+			continue
+		}
+		out = append(out, ToJSON(sr))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // WriteCSV emits the suite's results in long form — app, version, procs,

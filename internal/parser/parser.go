@@ -62,7 +62,7 @@ func Parse(src string) (*ast.Program, error) {
 func (p *parser) cur() scan.Token  { return p.toks[p.pos] }
 func (p *parser) next() scan.Token { t := p.toks[p.pos]; p.pos++; return t }
 
-func (p *parser) errorf(pos scan.Pos, format string, args ...interface{}) error {
+func (p *parser) errorf(pos scan.Pos, format string, args ...any) error {
 	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 

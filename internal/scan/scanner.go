@@ -30,7 +30,7 @@ type Error struct {
 
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 
-func (s *Scanner) errorf(p Pos, format string, args ...interface{}) error {
+func (s *Scanner) errorf(p Pos, format string, args ...any) error {
 	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...)}
 }
 

@@ -23,7 +23,7 @@ type Error struct {
 
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 
-func errorf(pos scan.Pos, format string, args ...interface{}) error {
+func errorf(pos scan.Pos, format string, args ...any) error {
 	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 

@@ -230,11 +230,11 @@ type procStream struct {
 // streamHeap orders processors by the issue time of their next request.
 type streamHeap []*procStream
 
-func (h streamHeap) Len() int            { return len(h) }
-func (h streamHeap) Less(i, j int) bool  { return h[i].ready < h[j].ready }
-func (h streamHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *streamHeap) Push(x interface{}) { *h = append(*h, x.(*procStream)) }
-func (h *streamHeap) Pop() interface{} {
+func (h streamHeap) Len() int           { return len(h) }
+func (h streamHeap) Less(i, j int) bool { return h[i].ready < h[j].ready }
+func (h streamHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *streamHeap) Push(x any)        { *h = append(*h, x.(*procStream)) }
+func (h *streamHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -337,9 +337,16 @@ func Run(reqs []trace.Request, diskOf func(block int64) (int, error), cfg Config
 // runOpenLoop replays the trace with fixed arrival times: each disk
 // services its requests FIFO in arrival order (the paper's trace-driven
 // methodology).
+//
+// The per-disk queues are carved out of one flat backing array sized by a
+// first counting pass, so the hot path does no append-regrowth copying;
+// when the input trace is already in arrival order (every trace out of
+// Generate is) the per-disk subsequences are too, and the stable re-sort
+// is skipped entirely.
 func runOpenLoop(reqs []trace.Request, diskOf func(int64) (int, error), cfg Config, states []*diskSim, res *Result) error {
-	perDisk := make([][]trace.Request, cfg.NumDisks)
-	for _, r := range reqs {
+	diskIdx := make([]int, len(reqs))
+	counts := make([]int, cfg.NumDisks)
+	for i, r := range reqs {
 		d, err := diskOf(r.Block)
 		if err != nil {
 			return err
@@ -347,11 +354,26 @@ func runOpenLoop(reqs []trace.Request, diskOf func(int64) (int, error), cfg Conf
 		if d < 0 || d >= cfg.NumDisks {
 			return fmt.Errorf("sim: block %d maps to disk %d outside 0..%d", r.Block, d, cfg.NumDisks-1)
 		}
+		diskIdx[i] = d
+		counts[d]++
+	}
+	backing := make([]trace.Request, len(reqs))
+	perDisk := make([][]trace.Request, cfg.NumDisks)
+	off := 0
+	for d, n := range counts {
+		perDisk[d] = backing[off : off : off+n]
+		off += n
+	}
+	for i, r := range reqs {
+		d := diskIdx[i]
 		perDisk[d] = append(perDisk[d], r)
 	}
+	presorted := trace.SortedByArrival(reqs)
 	for d := 0; d < cfg.NumDisks; d++ {
 		sorted := perDisk[d]
-		trace.SortByArrival(sorted)
+		if !presorted {
+			trace.SortByArrival(sorted)
+		}
 		for _, r := range sorted {
 			completion, resp := states[d].service(r.Arrival, r.Size, &res.PerDisk[d])
 			res.ResponseTime += resp
@@ -367,10 +389,22 @@ func runOpenLoop(reqs []trace.Request, diskOf func(int64) (int, error), cfg Conf
 // processor issues its next request only after its compute gap and subject
 // to the AsyncDepth outstanding-request window.
 func runClosedLoop(reqs []trace.Request, diskOf func(int64) (int, error), cfg Config, states []*diskSim, res *Result) error {
-	byProc := map[int]*procStream{}
-	var procIDs []int
-	sorted := append([]trace.Request(nil), reqs...)
-	trace.SortByArrival(sorted)
+	// The replay needs arrival order; traces straight out of Generate are
+	// already sorted, so only copy-and-sort when the caller's slice isn't
+	// (Run must never mutate its input).
+	sorted := reqs
+	if !trace.SortedByArrival(reqs) {
+		sorted = append([]trace.Request(nil), reqs...)
+		trace.SortByArrival(sorted)
+	}
+	// Counting pass: size each processor's stream exactly up front instead
+	// of growing three slices per stream by append-regrowth.
+	procCount := map[int]int{}
+	for _, r := range sorted {
+		procCount[r.Proc]++
+	}
+	byProc := make(map[int]*procStream, len(procCount))
+	procIDs := make([]int, 0, len(procCount))
 	for _, r := range sorted {
 		d, err := diskOf(r.Block)
 		if err != nil {
@@ -381,7 +415,12 @@ func runClosedLoop(reqs []trace.Request, diskOf func(int64) (int, error), cfg Co
 		}
 		ps, ok := byProc[r.Proc]
 		if !ok {
-			ps = &procStream{}
+			n := procCount[r.Proc]
+			ps = &procStream{
+				reqs:  make([]trace.Request, 0, n),
+				disks: make([]int, 0, n),
+				think: make([]float64, 0, n),
+			}
 			byProc[r.Proc] = ps
 			procIDs = append(procIDs, r.Proc)
 		}
@@ -397,7 +436,11 @@ func runClosedLoop(reqs []trace.Request, diskOf func(int64) (int, error), cfg Co
 		ps.think = append(ps.think, think)
 	}
 
-	h := &streamHeap{}
+	// The heap never outgrows the processor count: Pop shrinks the slice
+	// and Push re-appends within the same backing array, so sizing the
+	// capacity once keeps the issue loop allocation-free.
+	hs := make(streamHeap, 0, len(procIDs))
+	h := &hs
 	for _, p := range procIDs {
 		ps := byProc[p]
 		ps.ready = ps.think[0]

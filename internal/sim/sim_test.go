@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"diskreuse/internal/disk"
@@ -646,5 +647,60 @@ func TestMobileDiskMakesTPMViable(t *testing.T) {
 	}
 	if s := 1 - run(mobile, TPM)/run(mobile, NoPM); s < 0.1 {
 		t.Errorf("mobile TPM should exploit 12s idles, saved only %.2f%%", 100*s)
+	}
+}
+
+// TestSortedFastPathEquivalence pins the allocation-lean replay paths: a
+// shuffled trace must produce results identical to the same trace in
+// arrival order (the presorted fast path skips the defensive copy and the
+// per-disk stable re-sort), for both replay models and all policies — and
+// Run must never mutate the caller's slice.
+func TestSortedFastPathEquivalence(t *testing.T) {
+	var sorted []trace.Request
+	for i := 0; i < 400; i++ {
+		sorted = append(sorted, trace.Request{
+			Arrival: float64(i) * 0.9,
+			Block:   int64(i * 7 % 32),
+			Size:    4096,
+			Proc:    i % 3,
+		})
+	}
+	// Deterministic shuffle (LCG index permutation).
+	shuffled := make([]trace.Request, len(sorted))
+	perm := make([]int, len(sorted))
+	for i := range perm {
+		perm[i] = i
+	}
+	state := uint64(42)
+	for i := len(perm) - 1; i > 0; i-- {
+		state = state*6364136223846793005 + 1442695040888963407
+		j := int(state % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i, p := range perm {
+		shuffled[i] = sorted[p]
+	}
+	backup := append([]trace.Request(nil), shuffled...)
+
+	diskOf := func(block int64) (int, error) { return int(block % 4), nil }
+	for _, pol := range []Policy{NoPM, TPM, DRPM} {
+		for _, closed := range []bool{false, true} {
+			c := cfg(pol, 4)
+			c.ClosedLoop = closed
+			a, err := Run(sorted, diskOf, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(shuffled, diskOf, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s closed=%v: shuffled input changed the result", pol, closed)
+			}
+		}
+	}
+	if !reflect.DeepEqual(shuffled, backup) {
+		t.Error("Run mutated the caller's request slice")
 	}
 }

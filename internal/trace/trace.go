@@ -95,3 +95,17 @@ func Decode(r io.Reader) ([]Request, error) {
 func SortByArrival(reqs []Request) {
 	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
 }
+
+// SortedByArrival reports whether reqs is already in arrival order. The
+// simulator uses it to skip the defensive copy-and-sort on traces that come
+// straight out of Generate (which always sorts): any subsequence of a
+// sorted slice is itself sorted, with equal-arrival relative order
+// preserved, so skipping the stable re-sort is exact.
+func SortedByArrival(reqs []Request) bool {
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			return false
+		}
+	}
+	return true
+}
