@@ -38,7 +38,7 @@ func main() {
 		figure   = flag.String("figure", "", "regenerate a figure: 9a, 9b, 10a, or 10b")
 		ablation = flag.String("ablation", "", "run an ablation: stripes, threshold, window, layoutopt")
 		all      = flag.Bool("all", false, "regenerate every table and figure")
-		size     = flag.String("size", "default", "workload scale: tiny or default")
+		size     = flag.String("size", "default", "workload scale: tiny, small, or default")
 		procs    = flag.Int("procs", 4, "processor count for the (b) figures")
 		jobs     = flag.Int("jobs", 0, "max concurrent pipeline cells (0 = GOMAXPROCS, 1 = serial)")
 		csvPath  = flag.String("csv", "", "also write the suite results in CSV long form to this file")
@@ -55,6 +55,8 @@ func sizeOf(s string) (apps.Size, error) {
 	switch s {
 	case "tiny":
 		return apps.Tiny, nil
+	case "small":
+		return apps.Small, nil
 	case "default", "":
 		return apps.Default, nil
 	}

@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	dpcc [-code] [-stats] [-deps] [-procs N] [file.drl]
+//	dpcc [-code] [-stats] [-deps] [-procs N] [-jobs N] [file.drl]
 //
 // With no file the program is read from standard input.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,15 +31,16 @@ func main() {
 		showStats = flag.Bool("stats", true, "print disk-reuse clustering statistics")
 		showDeps  = flag.Bool("deps", false, "print the static data dependences per nest")
 		procs     = flag.Int("procs", 1, "processors for the layout-aware parallelization report")
+		jobs      = flag.Int("jobs", 1, "worker pool for the analysis front-end (0 = all CPUs)")
 	)
 	flag.Parse()
-	if err := run(*showCode, *showStats, *showDeps, *procs); err != nil {
+	if err := run(*showCode, *showStats, *showDeps, *procs, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "dpcc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(showCode, showStats, showDeps bool, procs int) error {
+func run(showCode, showStats, showDeps bool, procs, jobs int) error {
 	var src []byte
 	var err error
 	if flag.NArg() > 0 {
@@ -61,7 +63,7 @@ func run(showCode, showStats, showDeps bool, procs int) error {
 	if err != nil {
 		return err
 	}
-	r, err := core.New(prog, lay)
+	r, err := core.NewCtx(context.Background(), prog, lay, core.Options{Jobs: jobs})
 	if err != nil {
 		return err
 	}

@@ -63,7 +63,7 @@ func withStdio(t *testing.T, src string, fn func() error) string {
 
 func TestRunFullReport(t *testing.T) {
 	out := withStdio(t, testSrc, func() error {
-		return run(true, true, true, 2)
+		return run(true, true, true, 2, 2)
 	})
 	for _, want := range []string{
 		"program: 2 arrays, 2 nests, 8192 iterations, 4 disks",
@@ -90,7 +90,7 @@ func TestRunBadProgram(t *testing.T) {
 		inW.WriteString("this is not DRL")
 		inW.Close()
 	}()
-	if err := run(false, false, false, 1); err == nil {
+	if err := run(false, false, false, 1, 1); err == nil {
 		t.Error("bad program must fail")
 	}
 }
@@ -112,7 +112,7 @@ func TestRunFromFile(t *testing.T) {
 	if err := resetFlagsAndParse(); err != nil {
 		t.Fatal(err)
 	}
-	out := withStdio(t, "", func() error { return run(false, true, false, 1) })
+	out := withStdio(t, "", func() error { return run(false, true, false, 1, 1) })
 	if !strings.Contains(out, "8192 iterations") {
 		t.Errorf("output missing stats:\n%s", out)
 	}

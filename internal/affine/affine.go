@@ -160,6 +160,82 @@ func (e Expr) MustEval(env map[string]int64) int64 {
 	return v
 }
 
+// VecExpr is an affine expression compiled against a fixed positional
+// variable order: value(vals) = C0 + Σ Coef[i]*vals[i], where vals[i] is
+// the value of the i-th variable of the order it was bound with. It is the
+// allocation-free slice-env counterpart of Eval's map env: hot loops bind
+// once and evaluate per iteration against a reused []int64, with no map
+// lookups and no per-call allocation.
+//
+// Coef is trimmed to the last nonzero coefficient, so a VecExpr bound over
+// a full iterator list can be evaluated against any prefix of the value
+// vector that covers the variables it actually mentions — exactly the
+// situation of a loop bound at level l, which only references enclosing
+// iterators vals[:l].
+type VecExpr struct {
+	C0   int64
+	Coef []int64
+}
+
+// Bind compiles e against the positional variable order vars. It returns
+// an error if e mentions a variable not in vars.
+func (e Expr) Bind(vars []string) (VecExpr, error) {
+	v := VecExpr{C0: e.Const}
+	if len(e.Coeffs) == 0 {
+		return v, nil
+	}
+	v.Coef = make([]int64, len(vars))
+	bound := 0
+	for i, name := range vars {
+		if c, ok := e.Coeffs[name]; ok {
+			v.Coef[i] = c
+			bound++
+		}
+	}
+	if bound != len(e.Coeffs) {
+		for name := range e.Coeffs {
+			found := false
+			for _, have := range vars {
+				if have == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return VecExpr{}, fmt.Errorf("affine: bind: variable %q not in %v", name, vars)
+			}
+		}
+	}
+	last := len(v.Coef)
+	for last > 0 && v.Coef[last-1] == 0 {
+		last--
+	}
+	v.Coef = v.Coef[:last]
+	return v, nil
+}
+
+// MustBind is Bind but panics on unbound variables. It is intended for
+// callers that already validated variable scoping (sema did).
+func (e Expr) MustBind(vars []string) VecExpr {
+	v, err := e.Bind(vars)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// EvalVec evaluates v against vals, where vals[i] holds the value of the
+// i-th bound variable. vals may be any slice with len(vals) >= len(v.Coef).
+func (v VecExpr) EvalVec(vals []int64) int64 {
+	total := v.C0
+	for i, c := range v.Coef {
+		if c != 0 {
+			total += c * vals[i]
+		}
+	}
+	return total
+}
+
 // Equal reports whether e and o denote the same affine function.
 func (e Expr) Equal(o Expr) bool {
 	if e.Const != o.Const || len(e.Coeffs) != len(o.Coeffs) {

@@ -352,3 +352,73 @@ func TestTermZeroAndEqualShapes(t *testing.T) {
 		t.Error("clamped prefix should be lex positive")
 	}
 }
+
+func TestBindEvalVec(t *testing.T) {
+	e := Var("i").Scale(2).Add(Var("k").Scale(-1)).AddConst(7) // 2i - k + 7
+	v, err := e.Bind([]string{"i", "j", "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.EvalVec([]int64{5, 100, 3}); got != 14 {
+		t.Errorf("EvalVec = %d, want 14", got)
+	}
+	// Constant expressions bind to an empty coefficient vector and can be
+	// evaluated against any (even nil) value slice.
+	c, err := Constant(-4).Bind([]string{"i"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Coef) != 0 || c.EvalVec(nil) != -4 {
+		t.Errorf("constant bind = %+v", c)
+	}
+}
+
+func TestBindTrimsTrailingZeros(t *testing.T) {
+	// A bound at loop level 1 mentions only the outermost iterator; binding
+	// over the full iterator list must still evaluate against the prefix.
+	e := Var("i").AddConst(1)
+	v := e.MustBind([]string{"i", "j", "k"})
+	if len(v.Coef) != 1 {
+		t.Fatalf("Coef = %v, want trimmed to length 1", v.Coef)
+	}
+	if got := v.EvalVec([]int64{9}); got != 10 {
+		t.Errorf("EvalVec over prefix = %d, want 10", got)
+	}
+}
+
+func TestBindUnboundVariable(t *testing.T) {
+	if _, err := Var("z").Bind([]string{"i", "j"}); err == nil {
+		t.Error("Bind must reject a variable missing from the order")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBind must panic on unbound variable")
+		}
+	}()
+	Var("z").MustBind([]string{"i"})
+}
+
+// Property: EvalVec agrees with the map-env Eval on random expressions.
+func TestQuickEvalVecMatchesEval(t *testing.T) {
+	vars := []string{"a", "b", "c", "d"}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		e := Constant(rng.Int63n(41) - 20)
+		env := map[string]int64{}
+		vals := make([]int64, len(vars))
+		for i, v := range vars {
+			if rng.Intn(2) == 0 {
+				e = e.Add(Term(v, rng.Int63n(21)-10))
+			}
+			vals[i] = rng.Int63n(201) - 100
+			env[v] = vals[i]
+		}
+		bound, err := e.Bind(vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := bound.EvalVec(vals), e.MustEval(env); got != want {
+			t.Fatalf("trial %d: EvalVec = %d, Eval = %d (expr %v)", trial, got, want, e)
+		}
+	}
+}

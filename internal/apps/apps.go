@@ -70,6 +70,10 @@ type Size int
 const (
 	// Tiny is for unit tests: a few thousand iterations per app.
 	Tiny Size = iota
+	// Small is for micro-benchmarks of the analysis front-end: large
+	// enough that parallel passes clear their crossover thresholds, small
+	// enough that a benchmark iteration stays well under a second.
+	Small
 	// Default is the evaluation scale used by the benchmark harness.
 	Default
 )
@@ -94,8 +98,11 @@ func arr(name string, dims ...int) string {
 // AST: time-stepped Jacobi stencil, alternating U->V and V->U sweeps.
 func astApp(size Size) App {
 	rows, cols, steps := 192, 192, 4
-	if size == Tiny {
+	switch size {
+	case Tiny:
 		rows, cols, steps = 16, 16, 2
+	case Small:
+		rows, cols, steps = 64, 64, 2
 	}
 	var b strings.Builder
 	b.WriteString(arr("U", rows, cols))
@@ -124,8 +131,11 @@ nest Sweep%d {
 // FFT: out-of-core FFT data movement — row passes and transposed passes.
 func fftApp(size Size) App {
 	n, m := 192, 192
-	if size == Tiny {
+	switch size {
+	case Tiny:
 		n, m = 16, 16
+	case Small:
+		n, m = 64, 64
 	}
 	var b strings.Builder
 	b.WriteString(arr("A", n, m))
@@ -177,8 +187,11 @@ nest Transpose2 {
 // Cholesky: right-looking blocked factorization; one update nest per panel.
 func choleskyApp(size Size) App {
 	n, panel := 96, 6
-	if size == Tiny {
+	switch size {
+	case Tiny:
 		n, panel = 12, 4
+	case Small:
+		n, panel = 48, 6
 	}
 	var b strings.Builder
 	b.WriteString(arr("A", n, n))
@@ -216,8 +229,11 @@ nest Update%d {
 // Visuo: 3-D volume sliced along three axes into three image planes.
 func visuoApp(size Size) App {
 	d, r, c := 24, 64, 64
-	if size == Tiny {
+	switch size {
+	case Tiny:
 		d, r, c = 4, 8, 8
+	case Small:
+		d, r, c = 8, 32, 32
 	}
 	var b strings.Builder
 	b.WriteString(arr("Vol", d, r, c))
@@ -268,8 +284,11 @@ nest SagittalPass {
 // SCF: pair-interaction sweeps over a large integral matrix.
 func scfApp(size Size) App {
 	n := 256
-	if size == Tiny {
+	switch size {
+	case Tiny:
 		n = 20
+	case Small:
+		n = 96
 	}
 	var b strings.Builder
 	b.WriteString(arr("K", n, n))
@@ -303,8 +322,11 @@ nest Exchange {
 // RSense: multi-band raster composition plus a transposed region query.
 func rsenseApp(size Size) App {
 	r, c := 128, 128
-	if size == Tiny {
+	switch size {
+	case Tiny:
 		r, c = 12, 12
+	case Small:
+		r, c = 64, 64
 	}
 	var b strings.Builder
 	for _, band := range []string{"Band1", "Band2", "Band3", "Band4"} {

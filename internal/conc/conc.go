@@ -1,0 +1,171 @@
+// Package conc is the repository's bounded-concurrency leaf: a worker pool
+// over an atomic index counter, shared by the experiment harness
+// (internal/exp) and the compilation front-end (internal/interp,
+// internal/core). It sits below every other internal package so that
+// low-level analyses can fan out without import cycles.
+//
+// Determinism contract: callers own the output ordering by writing results
+// into slot i of a preallocated slice, so worker completion order never
+// shows in the result. Jobs == 1 runs inline on the calling goroutine in
+// index order — the fully serial reference path, with no goroutines.
+package conc
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on a bounded worker pool of
+// at most jobs goroutines.
+//
+// jobs <= 0 selects runtime.GOMAXPROCS(0). jobs == 1 runs every call inline
+// on the calling goroutine in index order.
+//
+// The first error cancels the pool: the context passed to fn is canceled,
+// no new indices are dispatched, and ForEach returns that error after all
+// in-flight calls finish. If the parent context is canceled, ForEach
+// returns its error. A panic in any worker is re-raised on the calling
+// goroutine (with the same panic value) after the pool drains, so a
+// crashing fn behaves the same at every jobs count.
+func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		panOnce  sync.Once
+		panicked bool
+		panicVal any
+	)
+	next.Store(-1)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panOnce.Do(func() {
+						panicked = true
+						panicVal = r
+						cancel()
+					})
+				}
+			}()
+			for {
+				i := int(next.Add(1))
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Chunks splits [0, n) into at most chunks contiguous half-open ranges of
+// near-equal size, returned as {lo, hi} pairs in order. The split depends
+// only on n and chunks, never on scheduling, so chunked parallel passes
+// stay deterministic. chunks <= 0 yields a single range.
+func Chunks(n, chunks int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if chunks <= 0 {
+		chunks = 1
+	}
+	if chunks > n {
+		chunks = n
+	}
+	out := make([][2]int, 0, chunks)
+	lo := 0
+	for k := 0; k < chunks; k++ {
+		hi := lo + (n-lo)/(chunks-k)
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// ChunkCount picks how many chunks a sweep of n items should use for a
+// jobs-wide pool: a few chunks per worker so uneven chunks still balance,
+// but never finer than minGrain items per chunk, keeping tiny inputs
+// effectively serial. jobs follows the ForEach convention (<= 0 means
+// GOMAXPROCS, 1 means one chunk).
+func ChunkCount(n, jobs, minGrain int) int {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs == 1 {
+		return 1
+	}
+	if minGrain < 1 {
+		minGrain = 1
+	}
+	if maxChunks := n / minGrain; maxChunks < jobs*chunksPerWorker {
+		if maxChunks < 1 {
+			return 1
+		}
+		return maxChunks
+	}
+	return jobs * chunksPerWorker
+}
+
+// ForEachChunk splits [0, n) into contiguous ranges — a few per worker, so
+// uneven ranges still balance — and runs fn(ctx, lo, hi) for each on the
+// ForEach pool. Chunk boundaries depend only on n and jobs (deterministic);
+// callers write results into per-index or per-chunk slots.
+func ForEachChunk(ctx context.Context, n, jobs int, fn func(ctx context.Context, lo, hi int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	chunks := Chunks(n, jobs*chunksPerWorker)
+	return ForEach(ctx, len(chunks), jobs, func(ctx context.Context, k int) error {
+		return fn(ctx, chunks[k][0], chunks[k][1])
+	})
+}
+
+// chunksPerWorker over-decomposes chunked sweeps so a straggler chunk does
+// not serialize the tail of the pass.
+const chunksPerWorker = 4

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"diskreuse/internal/apps"
+)
+
+func BenchmarkAttributeDisks(b *testing.B) {
+	app, err := apps.ByName("RSense", apps.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := app.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	r, err := NewCtx(ctx, p, nil, Options{Jobs: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bj := range []struct {
+		name string
+		jobs int
+	}{
+		{"serial", 1},
+		{"jobs4", 4},
+	} {
+		b.Run(bj.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := r.attributeDisks(ctx, bj.jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

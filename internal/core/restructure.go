@@ -10,8 +10,10 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
+	"diskreuse/internal/conc"
 	"diskreuse/internal/interp"
 	"diskreuse/internal/layout"
 	"diskreuse/internal/sema"
@@ -48,9 +50,33 @@ type Restructurer struct {
 	touched [][]int8
 }
 
+// Options configures how the front-end analyses run. The zero value is the
+// serial configuration New has always used.
+type Options struct {
+	// Jobs bounds the worker pool of the analysis passes (iteration-space
+	// enumeration, subscript validation, dependence build, disk
+	// attribution). 0 and 1 both run serially; values above 1 fan out on
+	// internal/conc. Every pass produces bit-identical results at any Jobs.
+	Jobs int
+}
+
+func (o Options) jobs() int {
+	if o.Jobs < 1 {
+		return 1
+	}
+	return o.Jobs
+}
+
 // New builds a Restructurer for prog with the given layout. The layout may
 // be nil, in which case a fresh one with the default page size is built.
 func New(prog *sema.Program, l *layout.Layout) (*Restructurer, error) {
+	return NewCtx(context.Background(), prog, l, Options{})
+}
+
+// NewCtx is New with cancellation and a worker budget: the four analysis
+// passes run on at most opt.Jobs workers and stop early if ctx is
+// canceled. The resulting Restructurer is identical to New's at any Jobs.
+func NewCtx(ctx context.Context, prog *sema.Program, l *layout.Layout, opt Options) (*Restructurer, error) {
 	var err error
 	if l == nil {
 		l, err = layout.New(prog, 0)
@@ -58,58 +84,81 @@ func New(prog *sema.Program, l *layout.Layout) (*Restructurer, error) {
 			return nil, err
 		}
 	}
-	space, err := interp.BuildSpace(prog)
+	jobs := opt.jobs()
+	space, err := interp.BuildSpaceCtx(ctx, prog, jobs)
 	if err != nil {
 		return nil, err
 	}
-	if err := space.Validate(); err != nil {
+	if err := space.ValidateCtx(ctx, jobs); err != nil {
+		return nil, err
+	}
+	graph, err := space.BuildDepsCtx(ctx, jobs)
+	if err != nil {
 		return nil, err
 	}
 	r := &Restructurer{
 		Prog:   prog,
 		Layout: l,
 		Space:  space,
-		Graph:  space.BuildDeps(),
+		Graph:  graph,
 	}
-	if err := r.attributeDisks(); err != nil {
+	if err := r.attributeDisks(ctx, jobs); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
-func (r *Restructurer) attributeDisks() error {
+// attributeDisks fills primary and touched for every iteration, chunked
+// over the iteration range on at most jobs workers. Layout.ElemDisk is a
+// pure function of the layout, so chunks share it safely; each chunk
+// writes only its own slots, and errors are reported in iteration order
+// (the first chunk's error wins) so the message never depends on worker
+// scheduling.
+func (r *Restructurer) attributeDisks(ctx context.Context, jobs int) error {
 	n := r.Space.NumIterations()
 	r.primary = make([]int, n)
 	r.touched = make([][]int8, n)
-	var buf []interp.Access
-	for id := 0; id < n; id++ {
-		buf = r.Space.Accesses(id, buf[:0])
-		if len(buf) == 0 {
-			return fmt.Errorf("core: iteration %v performs no accesses", r.Space.Iters[id])
-		}
-		var disks []int8
-		for k, a := range buf {
-			d, err := r.Layout.ElemDisk(a.Array, a.Lin)
-			if err != nil {
-				return err
+	chunks := conc.Chunks(n, conc.ChunkCount(n, jobs, 1<<10))
+	errs := make([]error, len(chunks))
+	poolErr := conc.ForEach(ctx, len(chunks), jobs, func(_ context.Context, k int) error {
+		var buf []interp.Access
+		for id := chunks[k][0]; id < chunks[k][1]; id++ {
+			buf = r.Space.Accesses(id, buf[:0])
+			if len(buf) == 0 {
+				errs[k] = fmt.Errorf("core: iteration %v performs no accesses", r.Space.Iters[id])
+				return errs[k]
 			}
-			if k == 0 {
-				r.primary[id] = d
-			}
-			found := false
-			for _, x := range disks {
-				if x == int8(d) {
-					found = true
-					break
+			var disks []int8
+			for j, a := range buf {
+				d, err := r.Layout.ElemDisk(a.Array, a.Lin)
+				if err != nil {
+					errs[k] = err
+					return err
+				}
+				if j == 0 {
+					r.primary[id] = d
+				}
+				found := false
+				for _, x := range disks {
+					if x == int8(d) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					disks = append(disks, int8(d))
 				}
 			}
-			if !found {
-				disks = append(disks, int8(d))
-			}
+			r.touched[id] = disks
 		}
-		r.touched[id] = disks
+		return nil
+	})
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
 	}
-	return nil
+	return poolErr
 }
 
 // PrimaryDisk returns the primary disk of global iteration id.

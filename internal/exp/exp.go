@@ -301,8 +301,10 @@ type artifacts struct {
 
 // prepareApp runs the compile → layout → restructure → trace stages of the
 // pipeline once for an application, producing the shared artifacts every
-// version simulation replays.
-func prepareApp(a apps.App, opt Options) (*artifacts, error) {
+// version simulation replays. The front-end analyses (space enumeration,
+// validation, dependence build, disk attribution) share the caller's Jobs
+// budget, so -jobs accelerates preparation as well as simulation.
+func prepareApp(ctx context.Context, a apps.App, opt Options) (*artifacts, error) {
 	p, err := a.Compile()
 	if err != nil {
 		return nil, err
@@ -311,7 +313,7 @@ func prepareApp(a apps.App, opt Options) (*artifacts, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := core.New(p, lay)
+	r, err := core.NewCtx(ctx, p, lay, core.Options{Jobs: opt.Jobs})
 	if err != nil {
 		return nil, err
 	}
@@ -436,7 +438,7 @@ func RunApp(a apps.App, opt Options) (*AppResult, error) {
 // stops the remaining ones.
 func RunAppContext(ctx context.Context, a apps.App, opt Options) (*AppResult, error) {
 	opt.fill()
-	art, err := prepareApp(a, opt)
+	art, err := prepareApp(ctx, a, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -484,7 +486,7 @@ func RunSuiteContext(ctx context.Context, opt Options) (*SuiteResult, error) {
 
 	arts := make([]*artifacts, len(suite))
 	err := ForEach(ctx, len(suite), opt.Jobs, func(ctx context.Context, i int) error {
-		a, err := prepareApp(suite[i], opt)
+		a, err := prepareApp(ctx, suite[i], opt)
 		if err != nil {
 			return err
 		}

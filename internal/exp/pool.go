@@ -2,9 +2,8 @@ package exp
 
 import (
 	"context"
-	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"diskreuse/internal/conc"
 )
 
 // ForEach runs fn(ctx, i) for every i in [0, n) on a bounded worker pool of
@@ -13,67 +12,11 @@ import (
 // a preallocated slice, so the completion order of workers never shows in
 // the result.
 //
-// jobs <= 0 selects runtime.GOMAXPROCS(0). jobs == 1 runs every call inline
-// on the calling goroutine in index order — the fully serial reference
-// path, with no goroutines involved.
-//
-// The first error cancels the pool: the context passed to fn is canceled,
-// no new indices are dispatched, and ForEach returns that error after all
-// in-flight calls finish. If the parent context is canceled, ForEach
-// returns its error.
+// The pool itself lives in internal/conc so the compilation front-end
+// (interp, core) can share it without importing the experiment harness;
+// ForEach is kept as a delegating alias for exp's own callers and tests.
+// See conc.ForEach for the jobs semantics (0 = GOMAXPROCS, 1 = inline
+// serial) and the error/cancellation contract.
 func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i int) error) error {
-	if n <= 0 {
-		return ctx.Err()
-	}
-	if jobs <= 0 {
-		jobs = runtime.GOMAXPROCS(0)
-	}
-	if jobs > n {
-		jobs = n
-	}
-	if jobs == 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := fn(ctx, i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	next.Store(-1)
-	for w := 0; w < jobs; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= n || ctx.Err() != nil {
-					return
-				}
-				if err := fn(ctx, i); err != nil {
-					errOnce.Do(func() {
-						firstErr = err
-						cancel()
-					})
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	return ctx.Err()
+	return conc.ForEach(ctx, n, jobs, fn)
 }

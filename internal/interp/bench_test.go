@@ -1,0 +1,67 @@
+package interp
+
+import (
+	"context"
+	"testing"
+
+	"diskreuse/internal/apps"
+	"diskreuse/internal/sema"
+)
+
+// benchProgram compiles RSense at Small scale: five striped arrays, so the
+// array-sharded dependence build has real fan-out, and enough iterations
+// to clear the parallel crossover thresholds.
+func benchProgram(b *testing.B) *sema.Program {
+	b.Helper()
+	app, err := apps.ByName("RSense", apps.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := app.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+var benchJobs = []struct {
+	name string
+	jobs int
+}{
+	{"serial", 1},
+	{"jobs4", 4},
+}
+
+func BenchmarkBuildSpace(b *testing.B) {
+	p := benchProgram(b)
+	ctx := context.Background()
+	for _, bj := range benchJobs {
+		b.Run(bj.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildSpaceCtx(ctx, p, bj.jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBuildDeps(b *testing.B) {
+	p := benchProgram(b)
+	ctx := context.Background()
+	s, err := BuildSpaceCtx(ctx, p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bj := range benchJobs {
+		b.Run(bj.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.BuildDepsCtx(ctx, bj.jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

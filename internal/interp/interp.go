@@ -14,10 +14,13 @@
 package interp
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"diskreuse/internal/affine"
+	"diskreuse/internal/conc"
 	"diskreuse/internal/sema"
 )
 
@@ -63,23 +66,66 @@ type Space struct {
 	refs [][]compiledRef // per nest
 }
 
-// BuildSpace enumerates prog's iterations and compiles its references.
+// BuildSpace enumerates prog's iterations and compiles its references on
+// the calling goroutine — the serial reference path of BuildSpaceCtx.
 func BuildSpace(prog *sema.Program) (*Space, error) {
-	s := &Space{Prog: prog}
-	for _, n := range prog.Nests {
+	return BuildSpaceCtx(context.Background(), prog, 1)
+}
+
+// BuildSpaceCtx enumerates prog's iterations and compiles its references,
+// fanning the per-nest enumeration out over at most jobs workers (0 =
+// GOMAXPROCS, 1 = inline serial). Each nest's slice of the space is
+// enumerated independently and stitched in nest order, so the result is
+// identical at every jobs value.
+//
+// Each nest's iteration vectors are carved from one exactly-sized backing
+// array (counted by a first enumeration pass), so enumeration performs one
+// allocation per nest instead of one per iteration.
+func BuildSpaceCtx(ctx context.Context, prog *sema.Program, jobs int) (*Space, error) {
+	s := &Space{
+		Prog:      prog,
+		NestFirst: make([]int, len(prog.Nests)),
+		refs:      make([][]compiledRef, len(prog.Nests)),
+	}
+	for i, n := range prog.Nests {
 		crefs, err := compileNest(n)
 		if err != nil {
 			return nil, err
 		}
-		s.refs = append(s.refs, crefs)
-		s.NestFirst = append(s.NestFirst, len(s.Iters))
+		s.refs[i] = crefs
+	}
+	perNest := make([][]Iteration, len(prog.Nests))
+	err := conc.ForEach(ctx, len(prog.Nests), jobs, func(_ context.Context, i int) error {
+		n := prog.Nests[i]
+		count := n.IterationCount()
+		if count == 0 {
+			return nil
+		}
+		depth := n.Depth()
+		flat := make([]int64, 0, count*int64(depth))
+		iters := make([]Iteration, 0, count)
 		nestIdx := n.Index
 		n.ForEachIteration(func(iv affine.Vector) {
-			s.Iters = append(s.Iters, Iteration{Nest: nestIdx, Iter: iv.Clone()})
+			flat = append(flat, iv...)
+			iters = append(iters, Iteration{Nest: nestIdx, Iter: flat[len(flat)-depth:]})
 		})
+		perNest[i] = iters
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if len(s.Iters) == 0 {
+	total := 0
+	for i := range perNest {
+		s.NestFirst[i] = total
+		total += len(perNest[i])
+	}
+	if total == 0 {
 		return nil, fmt.Errorf("interp: program has no iterations")
+	}
+	s.Iters = make([]Iteration, 0, total)
+	for _, iters := range perNest {
+		s.Iters = append(s.Iters, iters...)
 	}
 	return s, nil
 }
@@ -173,34 +219,78 @@ func access(cr compiledRef, iv affine.Vector) Access {
 // Validate checks every access of every iteration against the array bounds
 // dimension by dimension. It catches subscript errors that the linearized
 // fast path would silently fold into a wrong (but in-range) element.
+// Validate is the serial reference path of ValidateCtx.
 func (s *Space) Validate() error {
-	for _, n := range s.Prog.Nests {
-		iters := n.Iterators()
-		var failed error
-		n.ForEachIteration(func(iv affine.Vector) {
-			if failed != nil {
-				return
-			}
-			env := make(map[string]int64, len(iters))
-			for l, v := range iters {
-				env[v] = iv[l]
-			}
-			for _, st := range n.Stmts {
-				for _, r := range st.Refs() {
-					idx := r.Eval(env)
-					if _, ok := r.Array.LinearIndex(idx); !ok {
-						failed = fmt.Errorf("interp: nest %s iteration %s: %s subscripts %v out of bounds (dims %v)",
-							n.Name, iv, r, idx, r.Array.Dims)
-						return
-					}
+	return s.ValidateCtx(context.Background(), 1)
+}
+
+// checkedRef is a reference with its subscripts compiled against the
+// nest's iterator order, so validation evaluates them straight off the
+// iteration vector — no per-iteration environment map.
+type checkedRef struct {
+	ref  *sema.Ref
+	subs []affine.VecExpr
+}
+
+// ValidateCtx is Validate chunked over iteration ranges on at most jobs
+// workers (0 = GOMAXPROCS, 1 = inline serial, which checks iterations in
+// exact program order). The set of detected violations is the same at any
+// jobs value; under parallel execution the reported violation is the
+// earliest one of the first finishing chunk rather than the globally
+// first.
+func (s *Space) ValidateCtx(ctx context.Context, jobs int) error {
+	perNest := make([][]checkedRef, len(s.Prog.Nests))
+	maxRank := 0
+	for i, n := range s.Prog.Nests {
+		vars := n.Iterators()
+		for _, st := range n.Stmts {
+			for _, r := range st.Refs() {
+				cr := checkedRef{ref: r, subs: make([]affine.VecExpr, len(r.Subs))}
+				for k, sub := range r.Subs {
+					cr.subs[k] = sub.MustBind(vars)
 				}
+				if len(cr.subs) > maxRank {
+					maxRank = len(cr.subs)
+				}
+				perNest[i] = append(perNest[i], cr)
 			}
-		})
-		if failed != nil {
-			return failed
 		}
 	}
-	return nil
+	chunks := conc.Chunks(len(s.Iters), chunkCount(len(s.Iters), jobs))
+	errs := make([]error, len(chunks))
+	poolErr := conc.ForEach(ctx, len(chunks), jobs, func(_ context.Context, k int) error {
+		idx := make([]int64, maxRank)
+		for id := chunks[k][0]; id < chunks[k][1]; id++ {
+			it := s.Iters[id]
+			for _, cr := range perNest[it.Nest] {
+				sub := idx[:len(cr.subs)]
+				for d, e := range cr.subs {
+					sub[d] = e.EvalVec(it.Iter)
+				}
+				if _, ok := cr.ref.Array.LinearIndex(sub); !ok {
+					n := s.Prog.Nests[it.Nest]
+					errs[k] = fmt.Errorf("interp: nest %s iteration %s: %s subscripts %v out of bounds (dims %v)",
+						n.Name, it.Iter, cr.ref, sub, cr.ref.Array.Dims)
+					return errs[k]
+				}
+			}
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return poolErr
+}
+
+// chunkCount over-decomposes a chunked sweep relative to the worker count
+// so uneven chunks still balance; it never splits finer than a minimum
+// grain, keeping tiny inputs effectively serial.
+func chunkCount(n, jobs int) int {
+	const minGrain = 1 << 10
+	return conc.ChunkCount(n, jobs, minGrain)
 }
 
 // DepGraph is the exact iteration-level dependence DAG. Preds[u] lists the
@@ -293,6 +383,218 @@ func (s *Space) BuildDeps() *DepGraph {
 		}
 	}
 	return g
+}
+
+// depCrossover is the iteration count below which BuildDepsCtx always
+// takes the serial path: the per-array fan-out only pays for itself once
+// the access streams are long enough to amortize the bucketing pass. A
+// variable so the determinism tests can force the parallel path on small
+// programs.
+var depCrossover = 1 << 12
+
+// accessRec is one array touch in the global replay stream, restricted to
+// a single array: the per-array unit of the sharded dependence build.
+type accessRec struct {
+	lin   int64
+	u     int32
+	write bool
+}
+
+// edge is one dependence constraint: iteration from must precede to.
+type edge struct{ from, to int32 }
+
+// BuildDepsCtx builds the exact dependence graph like BuildDeps, but
+// sharded by array over at most jobs workers (0 = GOMAXPROCS): element
+// state never crosses arrays, so each array's access stream is replayed
+// independently, and the per-array edge lists are merged into the same
+// sorted, deduplicated Preds/Succs the serial replay produces. The result
+// is deep-equal to BuildDeps at every jobs value; jobs == 1 and small
+// spaces (under the crossover threshold) take the serial path outright.
+func (s *Space) BuildDepsCtx(ctx context.Context, jobs int) (*DepGraph, error) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	n := len(s.Iters)
+	if jobs == 1 || n < depCrossover {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return s.BuildDeps(), nil
+	}
+
+	// Stage 1: bucket every access by array, preserving global replay
+	// order, on chunked workers. Chunk k's buckets hold the accesses of
+	// iterations [lo_k, hi_k), so concatenating a bucket row across chunks
+	// yields that array's full stream in program order.
+	numArrays := len(s.Prog.Arrays)
+	chunks := conc.Chunks(n, chunkCount(n, jobs))
+	buckets := make([][][]accessRec, len(chunks))
+	err := conc.ForEach(ctx, len(chunks), jobs, func(_ context.Context, k int) error {
+		bk := make([][]accessRec, numArrays)
+		var buf []Access
+		for u := chunks[k][0]; u < chunks[k][1]; u++ {
+			buf = s.Accesses(u, buf[:0])
+			for _, a := range buf {
+				ai := a.Array.Index
+				bk[ai] = append(bk[ai], accessRec{lin: a.Lin, u: int32(u), write: a.Write})
+			}
+		}
+		buckets[k] = bk
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: replay each array's stream on its own worker, emitting its
+	// edge list. Edges are emitted while processing their target iteration,
+	// so each list is grouped by ascending to.
+	perArray := make([][]edge, numArrays)
+	err = conc.ForEach(ctx, numArrays, jobs, func(_ context.Context, ai int) error {
+		total := 0
+		for k := range buckets {
+			total += len(buckets[k][ai])
+		}
+		if total == 0 {
+			return nil
+		}
+		stream := make([]accessRec, 0, total)
+		for k := range buckets {
+			stream = append(stream, buckets[k][ai]...)
+		}
+		perArray[ai] = replayArray(s.Prog.Arrays[ai], stream)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3: merge the per-array edge lists into sorted, deduplicated
+	// predecessor lists, chunked over target-iteration ranges. Each chunk
+	// locates its [lo, hi) segment of every array's list by binary search
+	// (the lists are sorted by to) and carves the merged lists from one
+	// chunk-local backing array.
+	g := &DepGraph{
+		Preds: make([][]int32, n),
+		Succs: make([][]int32, n),
+	}
+	mergeChunks := conc.Chunks(n, chunkCount(n, jobs))
+	edgeCounts := make([]int, len(mergeChunks))
+	err = conc.ForEach(ctx, len(mergeChunks), jobs, func(_ context.Context, k int) error {
+		lo, hi := mergeChunks[k][0], mergeChunks[k][1]
+		var segs [][]edge
+		total := 0
+		for _, es := range perArray {
+			start := sort.Search(len(es), func(i int) bool { return es[i].to >= int32(lo) })
+			end := start + sort.Search(len(es)-start, func(i int) bool { return es[start+i].to >= int32(hi) })
+			if end > start {
+				segs = append(segs, es[start:end])
+				total += end - start
+			}
+		}
+		if total == 0 {
+			return nil
+		}
+		backing := make([]int32, 0, total)
+		cur := make([]int, len(segs))
+		count := 0
+		for u := lo; u < hi; u++ {
+			mark := len(backing)
+			for si, seg := range segs {
+				for cur[si] < len(seg) && seg[cur[si]].to == int32(u) {
+					backing = append(backing, seg[cur[si]].from)
+					cur[si]++
+				}
+			}
+			ps := backing[mark:]
+			if len(ps) == 0 {
+				continue
+			}
+			sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+			w := 0
+			for i, p := range ps {
+				if i == 0 || p != ps[i-1] {
+					ps[w] = p
+					w++
+				}
+			}
+			backing = backing[:mark+w]
+			g.Preds[u] = backing[mark : mark+w : mark+w]
+			count += w
+		}
+		edgeCounts[k] = count
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range edgeCounts {
+		g.edges += c
+	}
+
+	// Stage 4: successor lists. Degrees first, then one ordered fill over
+	// ascending u, so every Succs[p] comes out sorted exactly as the serial
+	// build's append order produces.
+	outdeg := make([]int32, n)
+	for u := range g.Preds {
+		for _, p := range g.Preds[u] {
+			outdeg[p]++
+		}
+	}
+	flat := make([]int32, g.edges)
+	offs := make([]int32, n+1)
+	for p := 0; p < n; p++ {
+		offs[p+1] = offs[p] + outdeg[p]
+	}
+	pos := make([]int32, n)
+	copy(pos, offs[:n])
+	for u := 0; u < n; u++ {
+		for _, p := range g.Preds[u] {
+			flat[pos[p]] = int32(u)
+			pos[p]++
+		}
+	}
+	for p := 0; p < n; p++ {
+		if outdeg[p] > 0 {
+			g.Succs[p] = flat[offs[p]:offs[p+1]:offs[p+1]]
+		}
+	}
+	return g, nil
+}
+
+// replayArray replays one array's access stream (already in global program
+// order) against its element states, returning the dependence edges the
+// stream induces. Identical to the inner loop of the serial BuildDeps,
+// restricted to a single array.
+func replayArray(a *sema.Array, stream []accessRec) []edge {
+	st := make([]elemState, a.Elems())
+	for i := range st {
+		st[i].lastWriter = -1
+	}
+	var edges []edge
+	add := func(from, to int32) {
+		if from < 0 || from == to {
+			return
+		}
+		edges = append(edges, edge{from: from, to: to})
+	}
+	for _, rec := range stream {
+		es := &st[rec.lin]
+		if rec.write {
+			add(es.lastWriter, rec.u) // output
+			for _, r := range es.readers { // anti
+				add(r, rec.u)
+			}
+			es.lastWriter = rec.u
+			es.readers = es.readers[:0]
+		} else {
+			add(es.lastWriter, rec.u) // flow
+			if m := len(es.readers); m == 0 || es.readers[m-1] != rec.u {
+				es.readers = append(es.readers, rec.u)
+			}
+		}
+	}
+	return edges
 }
 
 // VerifySchedule checks that order (a permutation of iteration ids) visits

@@ -1,0 +1,170 @@
+package interp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// randomSource generates a small random DRL program whose subscripts are
+// in-bounds by construction: every loop bound is capped by the smallest
+// array a nest touches, and subscripts are drawn from {i, U-i, i+j, const}.
+func randomSource(rng *rand.Rand) string {
+	numArrays := 1 + rng.Intn(3)
+	sizes := make([]int, numArrays)
+	var b strings.Builder
+	for a := range sizes {
+		sizes[a] = 8 + rng.Intn(33)
+		fmt.Fprintf(&b, "array A%d[%d]\n", a, sizes[a])
+	}
+	numNests := 1 + rng.Intn(3)
+	for nn := 0; nn < numNests; nn++ {
+		// Pick the arrays this nest touches, then bound the loops so every
+		// subscript form stays within the smallest of them.
+		used := []int{rng.Intn(numArrays)}
+		if rng.Intn(2) == 0 {
+			used = append(used, rng.Intn(numArrays))
+		}
+		minSize := sizes[used[0]]
+		for _, a := range used[1:] {
+			if sizes[a] < minSize {
+				minSize = sizes[a]
+			}
+		}
+		twoLevel := rng.Intn(2) == 0
+		var hiI, hiJ int
+		if twoLevel {
+			hiI = 1 + rng.Intn(minSize/2-1)
+			hiJ = minSize - 1 - hiI
+			if hiJ > 6 {
+				hiJ = 6
+			}
+		} else {
+			hiI = 1 + rng.Intn(minSize-1)
+		}
+		sub := func() string {
+			forms := []string{
+				"i",
+				fmt.Sprintf("%d-i", hiI),
+				fmt.Sprintf("%d", rng.Intn(hiI+1)),
+			}
+			if twoLevel {
+				forms = append(forms, "i+j", "j")
+			}
+			return forms[rng.Intn(len(forms))]
+		}
+		ref := func() string {
+			return fmt.Sprintf("A%d[%s]", used[rng.Intn(len(used))], sub())
+		}
+		var stmts []string
+		for k := 1 + rng.Intn(3); k > 0; k-- {
+			if rng.Intn(3) == 0 {
+				stmts = append(stmts, fmt.Sprintf("read %s;", ref()))
+			} else {
+				stmts = append(stmts, fmt.Sprintf("%s = %s;", ref(), ref()))
+			}
+		}
+		fmt.Fprintf(&b, "nest L%d {\n", nn)
+		if twoLevel {
+			fmt.Fprintf(&b, "  for i = 0 to %d { for j = 0 to %d { %s } }\n",
+				hiI, hiJ, strings.Join(stmts, " "))
+		} else {
+			fmt.Fprintf(&b, "  for i = 0 to %d { %s }\n", hiI, strings.Join(stmts, " "))
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// Property: the array-sharded parallel dependence build is bit-identical
+// to the serial replay — reflect.DeepEqual on the whole graph, including
+// the edge count — across randomized programs and every worker count 1..8.
+func TestQuickParallelDepsMatchSerial(t *testing.T) {
+	defer func(v int) { depCrossover = v }(depCrossover)
+	depCrossover = 1 // force the sharded path even on tiny spaces
+
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	for trial := 0; trial < 25; trial++ {
+		src := randomSource(rng)
+		s := space(t, src)
+		want := s.BuildDeps()
+		for jobs := 1; jobs <= 8; jobs++ {
+			got, err := s.BuildDepsCtx(ctx, jobs)
+			if err != nil {
+				t.Fatalf("trial %d jobs %d: %v\nsource:\n%s", trial, jobs, err, src)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("trial %d jobs %d: parallel graph differs from serial\nsource:\n%s",
+					trial, jobs, src)
+			}
+		}
+	}
+}
+
+// The parallel space build and chunked validation agree with the serial
+// paths at every worker count.
+func TestParallelSpaceAndValidateMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ctx := context.Background()
+	for trial := 0; trial < 10; trial++ {
+		src := randomSource(rng)
+		want := space(t, src)
+		for jobs := 1; jobs <= 8; jobs++ {
+			got, err := BuildSpaceCtx(ctx, want.Prog, jobs)
+			if err != nil {
+				t.Fatalf("trial %d jobs %d: BuildSpaceCtx: %v", trial, jobs, err)
+			}
+			if !reflect.DeepEqual(want.Iters, got.Iters) ||
+				!reflect.DeepEqual(want.NestFirst, got.NestFirst) {
+				t.Fatalf("trial %d jobs %d: parallel space differs from serial\nsource:\n%s",
+					trial, jobs, src)
+			}
+			if err := got.ValidateCtx(ctx, jobs); err != nil {
+				t.Fatalf("trial %d jobs %d: ValidateCtx: %v", trial, jobs, err)
+			}
+		}
+	}
+}
+
+// ValidateCtx still reports out-of-bounds subscripts on the chunked path,
+// with the same message shape as the serial path.
+func TestValidateCtxReportsOutOfBounds(t *testing.T) {
+	s := space(t, `
+array A[5]
+nest L { for i = 0 to 6 { read A[i]; } }
+`)
+	for _, jobs := range []int{1, 4} {
+		err := s.ValidateCtx(context.Background(), jobs)
+		if err == nil {
+			t.Fatalf("jobs %d: expected out-of-bounds error", jobs)
+		}
+		if !strings.Contains(err.Error(), "out of bounds") {
+			t.Errorf("jobs %d: unexpected error %v", jobs, err)
+		}
+	}
+}
+
+// Cancellation propagates out of every parallel front-end entry point.
+func TestParallelFrontEndCancellation(t *testing.T) {
+	s := space(t, `
+array A[10]
+nest L { for i = 0 to 9 { A[i] = A[0]; } }
+`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildSpaceCtx(ctx, s.Prog, 4); err == nil {
+		t.Error("BuildSpaceCtx: expected context error")
+	}
+	if err := s.ValidateCtx(ctx, 4); err == nil {
+		t.Error("ValidateCtx: expected context error")
+	}
+	defer func(v int) { depCrossover = v }(depCrossover)
+	depCrossover = 1
+	if _, err := s.BuildDepsCtx(ctx, 4); err == nil {
+		t.Error("BuildDepsCtx: expected context error")
+	}
+}

@@ -15,15 +15,23 @@ type Bound struct {
 	Div int64
 }
 
-func (b Bound) eval(env map[string]int64, ceil bool) int64 {
-	v := b.E.MustEval(env)
-	if b.Div == 1 {
+// vecBound is a Bound compiled against the loop chain's variable order
+// (affine.VecExpr), so per-iteration bound evaluation reads straight off
+// the value vector with no map.
+type vecBound struct {
+	e   affine.VecExpr
+	div int64
+}
+
+func (b vecBound) eval(vals []int64, ceil bool) int64 {
+	v := b.e.EvalVec(vals)
+	if b.div == 1 {
 		return v
 	}
 	if ceil {
-		return affine.CeilDiv(v, b.Div)
+		return affine.CeilDiv(v, b.div)
 	}
-	return affine.FloorDiv(v, b.Div)
+	return affine.FloorDiv(v, b.div)
 }
 
 func (b Bound) render(ceil bool) string {
@@ -129,35 +137,76 @@ func appendBound(bs []Bound, b Bound, upper bool) []Bound {
 	return append(bs, b)
 }
 
-// bounds computes the concrete [lo, hi] range of g at env, respecting the
-// Step/Offset congruence, and evaluates guards. ok is false if the range is
-// empty or a guard fails.
-func (g *GenLoop) bounds(env map[string]int64) (lo, hi int64, ok bool) {
-	for _, gd := range g.Guards {
-		if gd.MustEval(env) < 0 {
+// compiledLevel is one loop level with its bounds and guards bound to the
+// chain's variable order. A level's expressions only mention enclosing
+// variables, so they evaluate against the vals prefix set by outer levels.
+type compiledLevel struct {
+	lower, upper []vecBound
+	guards       []affine.VecExpr
+	step, offset int64
+}
+
+// Vars returns the chain's loop variables, outermost first.
+func (g *GenLoop) Vars() []string {
+	var vars []string
+	for l := g; l != nil; l = l.Inner {
+		vars = append(vars, l.Var)
+	}
+	return vars
+}
+
+// compile binds every level's bounds and guards to the chain's variable
+// order, once per Run/RunVec, so the per-iteration hot path is map-free.
+func (g *GenLoop) compile(vars []string) []compiledLevel {
+	levels := make([]compiledLevel, 0, len(vars))
+	for l := g; l != nil; l = l.Inner {
+		cl := compiledLevel{step: l.Step, offset: l.Offset}
+		if cl.step < 1 {
+			cl.step = 1
+		}
+		for _, b := range l.Lower {
+			cl.lower = append(cl.lower, vecBound{e: b.E.MustBind(vars), div: b.Div})
+		}
+		for _, b := range l.Upper {
+			cl.upper = append(cl.upper, vecBound{e: b.E.MustBind(vars), div: b.Div})
+		}
+		for _, gd := range l.Guards {
+			cl.guards = append(cl.guards, gd.MustBind(vars))
+		}
+		levels = append(levels, cl)
+	}
+	return levels
+}
+
+// bounds computes the concrete [lo, hi] range of a level at vals,
+// respecting the Step/Offset congruence, and evaluates guards. ok is false
+// if the range is empty or a guard fails.
+func (cl *compiledLevel) bounds(vals []int64) (lo, hi int64, ok bool) {
+	for _, gd := range cl.guards {
+		if gd.EvalVec(vals) < 0 {
 			return 0, 0, false
 		}
 	}
 	first := true
-	for _, b := range g.Lower {
-		v := b.eval(env, true)
+	for _, b := range cl.lower {
+		v := b.eval(vals, true)
 		if first || v > lo {
 			lo = v
 		}
 		first = false
 	}
 	first = true
-	for _, b := range g.Upper {
-		v := b.eval(env, false)
+	for _, b := range cl.upper {
+		v := b.eval(vals, false)
 		if first || v < hi {
 			hi = v
 		}
 		first = false
 	}
-	if g.Step > 1 {
+	if cl.step > 1 {
 		// Align lo upward to the congruence class Offset mod Step.
-		if r := affine.Mod(lo-g.Offset, g.Step); r != 0 {
-			lo += g.Step - r
+		if r := affine.Mod(lo-cl.offset, cl.step); r != 0 {
+			lo += cl.step - r
 		}
 	}
 	return lo, hi, lo <= hi
@@ -167,44 +216,52 @@ func (g *GenLoop) bounds(env map[string]int64) (lo, hi int64, ok bool) {
 // environment binding every loop variable. The map passed to fn is reused;
 // copy values you need to keep.
 func (g *GenLoop) Run(fn func(env map[string]int64)) {
-	env := make(map[string]int64)
-	g.run(env, fn)
+	vars := g.Vars()
+	env := make(map[string]int64, len(vars))
+	g.runVec(vars, func(vals []int64) {
+		for i, name := range vars {
+			env[name] = vals[i]
+		}
+		fn(env)
+	})
 }
 
-func (g *GenLoop) run(env map[string]int64, fn func(map[string]int64)) {
-	lo, hi, ok := g.bounds(env)
+// RunVec executes the loop chain, calling fn once per iteration with vals
+// binding the chain's variables positionally (outermost first, the order
+// of Vars). The slice passed to fn is reused across calls; fn must copy it
+// to retain it. This is the allocation-free path Run wraps.
+func (g *GenLoop) RunVec(fn func(vals []int64)) {
+	g.runVec(g.Vars(), fn)
+}
+
+func (g *GenLoop) runVec(vars []string, fn func(vals []int64)) {
+	levels := g.compile(vars)
+	vals := make([]int64, len(vars))
+	runLevels(levels, 0, vals, fn)
+}
+
+func runLevels(levels []compiledLevel, level int, vals []int64, fn func([]int64)) {
+	cl := &levels[level]
+	lo, hi, ok := cl.bounds(vals)
 	if !ok {
 		return
 	}
-	step := g.Step
-	if step < 1 {
-		step = 1
-	}
-	for v := lo; v <= hi; v += step {
-		env[g.Var] = v
-		if g.Inner == nil {
-			fn(env)
+	for v := lo; v <= hi; v += cl.step {
+		vals[level] = v
+		if level == len(levels)-1 {
+			fn(vals)
 		} else {
-			g.Inner.run(env, fn)
+			runLevels(levels, level+1, vals, fn)
 		}
 	}
-	delete(env, g.Var)
 }
 
 // Points runs the loop chain and collects the visited points in variable
 // order (outermost loop variable first).
 func (g *GenLoop) Points() []affine.Vector {
-	var vars []string
-	for l := g; l != nil; l = l.Inner {
-		vars = append(vars, l.Var)
-	}
 	var out []affine.Vector
-	g.Run(func(env map[string]int64) {
-		v := make(affine.Vector, len(vars))
-		for i, name := range vars {
-			v[i] = env[name]
-		}
-		out = append(out, v)
+	g.RunVec(func(vals []int64) {
+		out = append(out, append(affine.Vector(nil), vals...))
 	})
 	return out
 }

@@ -290,3 +290,41 @@ func TestNormalizeTightens(t *testing.T) {
 		t.Errorf("normalize = %v, want %v", e, want)
 	}
 }
+
+// RunVec is the slice-env path Run wraps; both must visit identical
+// iterations in identical order, including strided and guarded chains.
+func TestRunVecMatchesRun(t *testing.T) {
+	d := NewDomain("i", "j")
+	if err := d.AddRange("i", affine.Constant(0), affine.Constant(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddRange("j", affine.Var("i"), affine.Constant(12)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Codegen(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Step = 2 // stride the outer loop to cover the congruence path
+	var fromRun []affine.Vector
+	vars := g.Vars()
+	g.Run(func(env map[string]int64) {
+		v := make(affine.Vector, len(vars))
+		for k, name := range vars {
+			v[k] = env[name]
+		}
+		fromRun = append(fromRun, v)
+	})
+	var fromVec []affine.Vector
+	g.RunVec(func(vals []int64) {
+		fromVec = append(fromVec, append(affine.Vector(nil), vals...))
+	})
+	if len(fromRun) == 0 || len(fromRun) != len(fromVec) {
+		t.Fatalf("Run visited %d, RunVec %d", len(fromRun), len(fromVec))
+	}
+	for k := range fromRun {
+		if !fromRun[k].Equal(fromVec[k]) {
+			t.Fatalf("iteration %d: Run %v, RunVec %v", k, fromRun[k], fromVec[k])
+		}
+	}
+}

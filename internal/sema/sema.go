@@ -173,29 +173,47 @@ func (n *Nest) Env(iv affine.Vector) map[string]int64 {
 	return env
 }
 
+// loopBounds is one loop level's bounds compiled against the nest's
+// iterator order, so enumeration evaluates them straight off the iteration
+// vector with no per-iteration map.
+type loopBounds struct {
+	lo, hi affine.VecExpr
+	step   int64
+}
+
+// boundLoops compiles every loop level's bounds against the nest's
+// iterator order (affine.VecExpr). Bounds at level l only mention
+// enclosing iterators, so they evaluate against iv[:l] of any iteration
+// vector of the nest.
+func (n *Nest) boundLoops() []loopBounds {
+	bs := make([]loopBounds, len(n.Loops))
+	vars := n.Iterators()
+	for i, l := range n.Loops {
+		bs[i] = loopBounds{lo: l.Lo.MustBind(vars), hi: l.Hi.MustBind(vars), step: l.Step}
+	}
+	return bs
+}
+
 // ForEachIteration enumerates the nest's iteration space in lexicographic
 // (original program) order, calling fn with each iteration vector. The
 // vector passed to fn is reused across calls; fn must copy it to retain it.
 func (n *Nest) ForEachIteration(fn func(iv affine.Vector)) {
 	iv := make(affine.Vector, len(n.Loops))
-	env := make(map[string]int64, len(n.Loops))
-	n.enumerate(0, iv, env, fn)
+	enumerate(0, iv, n.boundLoops(), fn)
 }
 
-func (n *Nest) enumerate(level int, iv affine.Vector, env map[string]int64, fn func(affine.Vector)) {
-	if level == len(n.Loops) {
+func enumerate(level int, iv affine.Vector, bounds []loopBounds, fn func(affine.Vector)) {
+	if level == len(bounds) {
 		fn(iv)
 		return
 	}
-	l := n.Loops[level]
-	lo := l.Lo.MustEval(env)
-	hi := l.Hi.MustEval(env)
-	for v := lo; v <= hi; v += l.Step {
+	b := bounds[level]
+	lo := b.lo.EvalVec(iv)
+	hi := b.hi.EvalVec(iv)
+	for v := lo; v <= hi; v += b.step {
 		iv[level] = v
-		env[l.Var] = v
-		n.enumerate(level+1, iv, env, fn)
+		enumerate(level+1, iv, bounds, fn)
 	}
-	delete(env, l.Var)
 }
 
 // IterationCount returns the number of iterations in the nest's space.

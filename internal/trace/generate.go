@@ -63,36 +63,65 @@ type touchKey struct {
 	write bool
 }
 
-// pageCache is a tiny LRU set of resident pages.
+// lruNode is one resident page on the cache's recency ring.
+type lruNode struct {
+	page       int64
+	prev, next *lruNode
+}
+
+// pageCache is a tiny LRU set of resident pages: a map for O(1) lookup
+// plus an intrusive doubly-linked recency ring (root.next is most recent,
+// root.prev least recent), so eviction is O(1) instead of a scan over the
+// whole cache. Every recency stamp is distinct, so this is exactly the
+// eviction order the earlier stamp-scan implementation produced.
 type pageCache struct {
 	cap   int
-	pages map[int64]int // page -> recency stamp
-	clock int
+	pages map[int64]*lruNode
+	root  lruNode // sentinel of the recency ring
 }
 
 func newPageCache(capacity int) *pageCache {
-	return &pageCache{cap: capacity, pages: make(map[int64]int, capacity)}
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &pageCache{cap: capacity, pages: make(map[int64]*lruNode, capacity)}
+	c.root.prev = &c.root
+	c.root.next = &c.root
+	return c
 }
 
 // touch returns true on hit; on miss it inserts the page, evicting the
 // least recently used one if full.
 func (c *pageCache) touch(page int64) bool {
-	c.clock++
-	if _, ok := c.pages[page]; ok {
-		c.pages[page] = c.clock
+	if n, ok := c.pages[page]; ok {
+		c.unlink(n)
+		c.pushFront(n)
 		return true
 	}
+	var n *lruNode
 	if len(c.pages) >= c.cap {
-		oldPage, oldStamp := int64(-1), c.clock+1
-		for p, s := range c.pages {
-			if s < oldStamp {
-				oldPage, oldStamp = p, s
-			}
-		}
-		delete(c.pages, oldPage)
+		n = c.root.prev // least recently used
+		c.unlink(n)
+		delete(c.pages, n.page)
+		n.page = page
+	} else {
+		n = &lruNode{page: page}
 	}
-	c.pages[page] = c.clock
+	c.pushFront(n)
+	c.pages[page] = n
 	return false
+}
+
+func (c *pageCache) unlink(n *lruNode) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}
+
+func (c *pageCache) pushFront(n *lruNode) {
+	n.prev = &c.root
+	n.next = c.root.next
+	c.root.next.prev = n
+	c.root.next = n
 }
 
 // Generate produces the disk request trace for an execution described by

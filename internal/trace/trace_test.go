@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -385,5 +386,63 @@ nest L2 { for i = 0 to 16383 { B[i] = A[i]; } }
 	}
 	if sr != 4 {
 		t.Errorf("restructured trace should visit each disk once, switches = %d", sr)
+	}
+}
+
+// stampCache is the earlier O(cap)-eviction page cache, kept as the
+// reference model: a recency stamp per page, evicting the minimum stamp.
+// Stamps are distinct, so its eviction order is true LRU.
+type stampCache struct {
+	cap   int
+	pages map[int64]int
+	clock int
+}
+
+func (c *stampCache) touch(page int64) bool {
+	c.clock++
+	if _, ok := c.pages[page]; ok {
+		c.pages[page] = c.clock
+		return true
+	}
+	if len(c.pages) >= c.cap {
+		oldPage, oldStamp := int64(-1), c.clock+1
+		for p, s := range c.pages {
+			if s < oldStamp {
+				oldPage, oldStamp = p, s
+			}
+		}
+		delete(c.pages, oldPage)
+	}
+	c.pages[page] = c.clock
+	return false
+}
+
+// Property: the linked-list cache hits and misses exactly like the
+// reference stamp-scan on random access streams — same results per touch
+// means same eviction order throughout.
+func TestQuickPageCacheMatchesStampScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		capacity := 1 + rng.Intn(16)
+		lru := newPageCache(capacity)
+		ref := &stampCache{cap: capacity, pages: make(map[int64]int, capacity)}
+		span := int64(1 + rng.Intn(3*capacity)) // force plenty of evictions
+		for step := 0; step < 2000; step++ {
+			page := rng.Int63n(span)
+			got, want := lru.touch(page), ref.touch(page)
+			if got != want {
+				t.Fatalf("trial %d (cap %d) step %d page %d: touch = %v, reference = %v",
+					trial, capacity, step, page, got, want)
+			}
+		}
+		if len(lru.pages) != len(ref.pages) {
+			t.Fatalf("trial %d: resident count %d, reference %d",
+				trial, len(lru.pages), len(ref.pages))
+		}
+		for p := range ref.pages {
+			if _, ok := lru.pages[p]; !ok {
+				t.Fatalf("trial %d: page %d resident in reference only", trial, p)
+			}
+		}
 	}
 }
