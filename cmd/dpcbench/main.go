@@ -14,8 +14,11 @@
 //	dpcbench -all -json BENCH_suite.json   # machine-readable metrics
 //
 // The evaluation grid (app × version × procs) is embarrassingly parallel;
-// -jobs bounds the worker pool (0 = GOMAXPROCS). Results are bit-identical
-// at every -jobs value.
+// -jobs bounds the worker pool (0 = GOMAXPROCS) and reaches every layer:
+// the (app × version) cell fan-out, the analysis front-end, and the
+// simulator's per-disk open-loop sharding. Each app's trace is prepared
+// once and replayed by all of its policy versions. Results are
+// bit-identical at every -jobs value.
 package main
 
 import (

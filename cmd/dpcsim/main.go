@@ -11,9 +11,11 @@
 //
 // With no file the trace is read from standard input. -policy accepts a
 // single policy, a comma-separated list (e.g. "none,tpm,drpm"), or "all";
-// with more than one policy the simulations fan out over -jobs workers
-// against the shared read-only trace and the reports print in the order
-// the policies were given.
+// the trace is prepared once (sorted, disk-attributed, bucketed) and
+// shared read-only by every policy. With more than one policy the
+// simulations fan out over -jobs workers and the reports print in the
+// order the policies were given; the same -jobs budget also shards each
+// open-loop replay across its disks (sim.Config.Jobs).
 package main
 
 import (
@@ -40,7 +42,7 @@ func main() {
 		pageSize = flag.Int64("page", 4096, "page size the trace's blocks are numbered in")
 		perDisk  = flag.Bool("perdisk", false, "print per-disk statistics")
 		timeline = flag.Int("timeline", 0, "render an ASCII disk-activity timeline this many columns wide")
-		jobs     = flag.Int("jobs", 0, "max concurrent policy simulations (0 = GOMAXPROCS)")
+		jobs     = flag.Int("jobs", 0, "max concurrent policy simulations and per-disk replay workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if err := run(*policy, *disks, *unit, *start, *pageSize, *perDisk, *timeline, *jobs); err != nil {
@@ -114,20 +116,26 @@ func run(policy string, disks int, unit int64, start int, pageSize int64, perDis
 		rec = viz.NewRecorder()
 	}
 
-	// The trace and the block-to-disk mapping are shared read-only; each
-	// policy's simulation is independent, so they fan out over the pool
-	// and the reports print in the order the policies were given.
+	// The trace is prepared once — sorted, disk-attributed, carved per
+	// disk — and shared read-only; each policy's simulation is
+	// independent, so they fan out over the pool and the reports print in
+	// the order the policies were given.
+	pt, err := sim.PrepareTrace(reqs, diskOf, disks)
+	if err != nil {
+		return err
+	}
 	results := make([]*sim.Result, len(pols))
 	err = exp.ForEach(context.Background(), len(pols), jobs, func(_ context.Context, i int) error {
 		cfg := sim.Config{
 			Model:    model,
 			NumDisks: disks,
 			Policy:   pols[i],
+			Jobs:     jobs,
 		}
 		if rec != nil {
 			cfg.Record = rec.Record
 		}
-		res, err := sim.Run(reqs, diskOf, cfg)
+		res, err := sim.RunPrepared(pt, cfg)
 		if err != nil {
 			return err
 		}

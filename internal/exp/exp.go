@@ -78,10 +78,13 @@ type Options struct {
 	// with compiler-inserted spin-up hints) to every run.
 	Proactive bool
 	// Jobs bounds how many pipeline cells — per-app artifact preparations
-	// and (app, version) simulations — run concurrently. Zero selects
-	// runtime.GOMAXPROCS(0); 1 forces the fully serial path. Results are
-	// deterministic and bit-identical at every Jobs value: cells share only
-	// read-only memoized artifacts, and each writes its own result slot.
+	// and (app, version) simulations — run concurrently, and is threaded
+	// through to the simulator's per-disk open-loop sharding
+	// (sim.Config.Jobs) and the analysis front-end (core.Options.Jobs).
+	// Zero selects runtime.GOMAXPROCS(0); 1 forces the fully serial path.
+	// Results are deterministic and bit-identical at every Jobs value:
+	// cells share only read-only memoized artifacts (including the
+	// prepared traces), and each writes its own result slot.
 	Jobs int
 }
 
@@ -185,13 +188,16 @@ func (sr *SuiteResult) AverageDegradation(v Version) float64 {
 	return sum / float64(n)
 }
 
-// execution is a fully prepared run: phases, clustering stats, and the
-// generated request trace. Once prepared it is shared read-only by every
+// execution is a fully prepared run: phases, clustering stats, the
+// generated request trace, and its simulator-ready prepared form (disk
+// attribution, per-disk carve, arrival sort — done once here instead of
+// once per policy version). Once prepared it is shared read-only by every
 // version simulation that replays it.
 type execution struct {
 	phases   []trace.Phase
 	diskRuns int
 	reqs     []trace.Request
+	prep     *sim.PreparedTrace
 }
 
 // prepare builds the three execution plans a processor count needs:
@@ -288,8 +294,9 @@ func runsOf(r *core.Restructurer, order []int) int {
 
 // artifacts memoizes the expensive per-application pipeline stages — the
 // parsed and sema-analyzed program, the disk layout, and the prepared
-// executions with their generated traces — so the seven version
-// simulations share them read-only instead of re-deriving them. One
+// executions with their generated and simulator-prepared traces — so the
+// seven version simulations share them read-only instead of re-deriving
+// them. One
 // artifacts value is computed per (app, procs) cell; every field is
 // immutable after prepareApp returns.
 type artifacts struct {
@@ -333,6 +340,12 @@ func prepareApp(ctx context.Context, a apps.App, opt Options) (*artifacts, error
 		if e.reqs, err = trace.Generate(r, e.phases, genCfg); err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", a.Name, err)
 		}
+		// Bucket once, replay many: the counting pass, disk attribution,
+		// and per-disk carve happen here instead of inside every one of
+		// the 5–7 version simulations that share this execution.
+		if e.prep, err = sim.PrepareTrace(e.reqs, lay.PageDisk, lay.NumDisks()); err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", a.Name, err)
+		}
 	}
 	return &artifacts{app: a, prog: p, lay: lay, orig: orig, restrS: restrS, restrM: restrM}, nil
 }
@@ -371,6 +384,7 @@ func (art *artifacts) runVersion(v Version, opt Options) (RunResult, error) {
 		DRPMLower:    opt.DRPMLower,
 		RAIDWidth:    opt.RAIDWidth,
 		Policy:       policyOf(v),
+		Jobs:         opt.Jobs,
 	}
 	if v == VPTPM {
 		cfg.Policy = sim.TPM
@@ -385,7 +399,7 @@ func (art *artifacts) runVersion(v Version, opt Options) (RunResult, error) {
 			return RunResult{}, fmt.Errorf("exp: %s/%s: %w", art.app.Name, v, err)
 		}
 	}
-	res, err := sim.Run(e.reqs, art.lay.PageDisk, cfg)
+	res, err := sim.RunPrepared(e.prep, cfg)
 	if err != nil {
 		return RunResult{}, fmt.Errorf("exp: %s/%s: %w", art.app.Name, v, err)
 	}

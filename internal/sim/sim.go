@@ -18,8 +18,10 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
+	"diskreuse/internal/conc"
 	"diskreuse/internal/disk"
 	"diskreuse/internal/power"
 	"diskreuse/internal/trace"
@@ -91,8 +93,24 @@ type Config struct {
 	// (power is still managed at I/O-node granularity, as in the paper).
 	// Width w lets a node service w requests concurrently and multiplies
 	// its power draw and transition energies by w. Zero or 1 models one
-	// disk per node, the paper's default evaluation setup.
+	// disk per node, the paper's default evaluation setup. Negative widths
+	// are rejected.
 	RAIDWidth int
+
+	// Jobs bounds how many disks replay concurrently in the open-loop
+	// model. The open-loop replay is feedback-free across disks (a
+	// policy-induced stall delays that disk's queue but never feeds back
+	// into the issue stream), so the per-disk replays are independent and
+	// fan out over a bounded worker pool. Zero selects
+	// runtime.GOMAXPROCS(0), with a small-trace cutoff that keeps tiny
+	// replays serial; 1 forces the fully serial path; negative values are
+	// rejected. Results are bit-identical at every Jobs value: each disk
+	// writes its own stats slot, and the per-disk partial response-time
+	// sums, makespans, and interval logs are folded in disk order — the
+	// same float summation order and interval order as the serial path.
+	// The closed-loop replay is inherently cross-disk sequential (stalls
+	// propagate through the shared issue heap) and ignores Jobs.
+	Jobs int
 }
 
 // StateKind classifies a disk's activity during an interval.
@@ -215,24 +233,32 @@ type Result struct {
 
 // procStream is one processor's request sequence with recovered think
 // times: think[k] is the compute delay between completing request k-1 and
-// issuing request k.
+// issuing request k. The requests themselves live in the prepared trace;
+// idx holds their positions in its arrival order.
 type procStream struct {
-	reqs  []trace.Request
-	disks []int
-	think []float64
-	next  int     // index of the next request to issue
-	ready float64 // time the processor can issue it
+	proc  int       // processor id (the heap tie-break)
+	idx   []int     // indices into the prepared trace's sorted order
+	think []float64 // recovered compute gaps, one per request
+	next  int       // position in idx of the next request to issue
+	ready float64   // time the processor can issue it
 	// completions is a ring of the last AsyncDepth completion times; a new
 	// request blocks on the completion AsyncDepth requests back.
 	completions []float64
 }
 
-// streamHeap orders processors by the issue time of their next request.
+// streamHeap orders processors by the issue time of their next request,
+// breaking exact-time ties by processor id so the replay order depends
+// only on the trace, never on the heap's insertion history.
 type streamHeap []*procStream
 
-func (h streamHeap) Len() int           { return len(h) }
-func (h streamHeap) Less(i, j int) bool { return h[i].ready < h[j].ready }
-func (h streamHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h streamHeap) Len() int { return len(h) }
+func (h streamHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].proc < h[j].proc
+}
+func (h streamHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *streamHeap) Push(x any)        { *h = append(*h, x.(*procStream)) }
 func (h *streamHeap) Pop() any {
 	old := *h
@@ -246,16 +272,45 @@ func (h *streamHeap) Pop() any {
 // block number to its disk using the striping information, exactly as the
 // paper's simulator consumes externally provided striping parameters.
 //
-// The replay is closed-loop per processor: each processor issues its next
-// request only after its previous one completed plus the think (compute)
-// time recovered from the trace's arrival gaps. Disks service requests
-// FIFO in issue order.
+// Run is PrepareTrace followed by RunPrepared; callers replaying the same
+// trace under several configurations (the harness's 5–7 policy versions
+// per app) should prepare once and call RunPrepared per version instead.
+// reqs is never mutated.
 func Run(reqs []trace.Request, diskOf func(block int64) (int, error), cfg Config) (*Result, error) {
+	pt, err := PrepareTrace(reqs, diskOf, cfg.NumDisks)
+	if err != nil {
+		return nil, err
+	}
+	return RunPrepared(pt, cfg)
+}
+
+// RunPrepared replays a prepared trace under one configuration. The
+// default (open-loop) replay is the paper's trace-driven methodology with
+// fixed arrival times; cfg.ClosedLoop instead re-issues each processor's
+// requests only as earlier ones complete. Disks service requests FIFO in
+// issue order either way.
+//
+// cfg.NumDisks zero adopts the prepared trace's disk count; any other
+// value must match it. RunPrepared only reads pt, so concurrent calls may
+// share one PreparedTrace.
+func RunPrepared(pt *PreparedTrace, cfg Config) (*Result, error) {
 	if err := cfg.Model.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.NumDisks <= 0 {
-		return nil, fmt.Errorf("sim: NumDisks must be positive")
+	if cfg.NumDisks == 0 {
+		cfg.NumDisks = pt.numDisks
+	}
+	if cfg.NumDisks != pt.numDisks {
+		return nil, fmt.Errorf("sim: Config.NumDisks %d does not match the prepared trace's %d disks", cfg.NumDisks, pt.numDisks)
+	}
+	if cfg.Jobs < 0 {
+		return nil, fmt.Errorf("sim: Jobs %d must be >= 0 (0 selects GOMAXPROCS, 1 forces the serial path)", cfg.Jobs)
+	}
+	if cfg.RAIDWidth < 0 {
+		return nil, fmt.Errorf("sim: RAIDWidth %d must be >= 0 (0 or 1 models one disk per I/O node)", cfg.RAIDWidth)
+	}
+	if cfg.AsyncDepth < 0 {
+		return nil, fmt.Errorf("sim: AsyncDepth %d must be >= 0 (0 selects the default depth %d)", cfg.AsyncDepth, DefaultAsyncDepth)
 	}
 	if cfg.TPMThreshold <= 0 {
 		cfg.TPMThreshold = cfg.Model.BreakEven
@@ -287,7 +342,7 @@ func Run(reqs []trace.Request, diskOf func(block int64) (int, error), cfg Config
 
 	res := &Result{
 		PerDisk:  make([]DiskStats, cfg.NumDisks),
-		Requests: len(reqs),
+		Requests: len(pt.sorted),
 		Policy:   cfg.Policy,
 	}
 	// With RAID-level striping (Fig. 1), each I/O node's meter accounts for
@@ -314,11 +369,9 @@ func Run(reqs []trace.Request, diskOf func(block int64) (int, error), cfg Config
 		states[h.Disk].hints = append(states[h.Disk].hints, h.Time)
 	}
 	if cfg.ClosedLoop {
-		if err := runClosedLoop(reqs, diskOf, cfg, states, res); err != nil {
-			return nil, err
-		}
+		runClosedLoop(pt, cfg, states, res)
 	} else {
-		if err := runOpenLoop(reqs, diskOf, cfg, states, res); err != nil {
+		if err := runOpenLoop(pt, cfg, states, res); err != nil {
 			return nil, err
 		}
 	}
@@ -334,52 +387,75 @@ func Run(reqs []trace.Request, diskOf func(block int64) (int, error), cfg Config
 	return res, nil
 }
 
+// minParallelRequests is the auto-mode (Jobs 0) cutoff below which the
+// open-loop replay stays serial: spawning a worker per disk costs more
+// than replaying a tiny trace. An explicit Jobs >= 2 always shards, so
+// tests can pin the parallel path on small inputs; the result is
+// bit-identical either way.
+const minParallelRequests = 4096
+
 // runOpenLoop replays the trace with fixed arrival times: each disk
 // services its requests FIFO in arrival order (the paper's trace-driven
-// methodology).
+// methodology). The open-loop model is feedback-free across disks — a
+// policy-induced stall delays that disk's queue but never the issue
+// stream — so the per-disk replays are independent and fan out over a
+// bounded worker pool (Config.Jobs): the same disk-level independence the
+// paper exploits for power management, reused for simulation speed.
 //
-// The per-disk queues are carved out of one flat backing array sized by a
-// first counting pass, so the hot path does no append-regrowth copying;
-// when the input trace is already in arrival order (every trace out of
-// Generate is) the per-disk subsequences are too, and the stable re-sort
-// is skipped entirely.
-func runOpenLoop(reqs []trace.Request, diskOf func(int64) (int, error), cfg Config, states []*diskSim, res *Result) error {
-	diskIdx := make([]int, len(reqs))
-	counts := make([]int, cfg.NumDisks)
-	for i, r := range reqs {
-		d, err := diskOf(r.Block)
-		if err != nil {
-			return err
-		}
-		if d < 0 || d >= cfg.NumDisks {
-			return fmt.Errorf("sim: block %d maps to disk %d outside 0..%d", r.Block, d, cfg.NumDisks-1)
-		}
-		diskIdx[i] = d
-		counts[d]++
+// Each worker replays one disk's prepared subsequence, writing its own
+// DiskStats slot and producing a partial response-time sum, a partial
+// makespan, and (when a recorder is configured) a buffered interval log.
+// The reducer folds the partials in disk order — the same float summation
+// order and the same interval order as the serial disk-major loop — so
+// the Result and the Record stream are bit-identical at any worker count.
+func runOpenLoop(pt *PreparedTrace, cfg Config, states []*diskSim, res *Result) error {
+	type partial struct {
+		resp     float64
+		makespan float64
+		ivs      []Interval
 	}
-	backing := make([]trace.Request, len(reqs))
-	perDisk := make([][]trace.Request, cfg.NumDisks)
-	off := 0
-	for d, n := range counts {
-		perDisk[d] = backing[off : off : off+n]
-		off += n
+	parts := make([]partial, pt.numDisks)
+	record := cfg.Record
+	jobs := cfg.Jobs
+	if jobs == 0 && len(pt.sorted) < minParallelRequests {
+		jobs = 1
 	}
-	for i, r := range reqs {
-		d := diskIdx[i]
-		perDisk[d] = append(perDisk[d], r)
-	}
-	presorted := trace.SortedByArrival(reqs)
-	for d := 0; d < cfg.NumDisks; d++ {
-		sorted := perDisk[d]
-		if !presorted {
-			trace.SortByArrival(sorted)
+	err := conc.ForEach(context.Background(), pt.numDisks, jobs, func(_ context.Context, d int) error {
+		ds := states[d]
+		if record != nil {
+			// Buffer this disk's intervals; the reducer replays the
+			// buffers in disk order, so the recorder sees the exact
+			// serial stream from a single goroutine.
+			buf := &parts[d].ivs
+			ds.cfg.Record = func(iv Interval) { *buf = append(*buf, iv) }
 		}
-		for _, r := range sorted {
-			completion, resp := states[d].service(r.Arrival, r.Size, &res.PerDisk[d])
-			res.ResponseTime += resp
-			if completion > res.Makespan {
-				res.Makespan = completion
+		st := &res.PerDisk[d]
+		var resp, makespan float64
+		for _, r := range pt.perDisk[d] {
+			completion, rt := ds.service(r.Arrival, r.Size, st)
+			resp += rt
+			if completion > makespan {
+				makespan = completion
 			}
+		}
+		parts[d].resp = resp
+		parts[d].makespan = makespan
+		if record != nil {
+			// The tail accounting after the replay emits directly.
+			ds.cfg.Record = record
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for d := range parts {
+		res.ResponseTime += parts[d].resp
+		if parts[d].makespan > res.Makespan {
+			res.Makespan = parts[d].makespan
+		}
+		for _, iv := range parts[d].ivs {
+			record(iv)
 		}
 	}
 	return nil
@@ -387,70 +463,54 @@ func runOpenLoop(reqs []trace.Request, diskOf func(int64) (int, error), cfg Conf
 
 // runClosedLoop replays the trace with per-processor feedback: each
 // processor issues its next request only after its compute gap and subject
-// to the AsyncDepth outstanding-request window.
-func runClosedLoop(reqs []trace.Request, diskOf func(int64) (int, error), cfg Config, states []*diskSim, res *Result) error {
-	// The replay needs arrival order; traces straight out of Generate are
-	// already sorted, so only copy-and-sort when the caller's slice isn't
-	// (Run must never mutate its input).
-	sorted := reqs
-	if !trace.SortedByArrival(reqs) {
-		sorted = append([]trace.Request(nil), reqs...)
-		trace.SortByArrival(sorted)
-	}
-	// Counting pass: size each processor's stream exactly up front instead
-	// of growing three slices per stream by append-regrowth.
-	procCount := map[int]int{}
-	for _, r := range sorted {
-		procCount[r.Proc]++
-	}
-	byProc := make(map[int]*procStream, len(procCount))
-	procIDs := make([]int, 0, len(procCount))
-	for _, r := range sorted {
-		d, err := diskOf(r.Block)
-		if err != nil {
-			return err
-		}
-		if d < 0 || d >= cfg.NumDisks {
-			return fmt.Errorf("sim: block %d maps to disk %d outside 0..%d", r.Block, d, cfg.NumDisks-1)
-		}
-		ps, ok := byProc[r.Proc]
-		if !ok {
-			n := procCount[r.Proc]
-			ps = &procStream{
-				reqs:  make([]trace.Request, 0, n),
-				disks: make([]int, 0, n),
-				think: make([]float64, 0, n),
+// to the AsyncDepth outstanding-request window. Stalls propagate through
+// the shared issue heap and can cascade across disks, so this path stays
+// sequential — but it reuses the prepared attribution: the issue loop
+// reads disks from the precomputed index and processor streams from the
+// prepared grouping, with no diskOf calls or map lookups per request.
+func runClosedLoop(pt *PreparedTrace, cfg Config, states []*diskSim, res *Result) {
+	sorted := pt.sorted
+	// Think times depend on cfg.ThinkEstimate, so they are recovered per
+	// run — into one flat backing carved per stream, reusing the prepared
+	// per-processor index lists.
+	streams := make([]procStream, len(pt.procIDs))
+	thinkBacking := make([]float64, len(sorted))
+	ringBacking := make([]float64, cfg.AsyncDepth*len(pt.procIDs))
+	off := 0
+	for k, p := range pt.procIDs {
+		idx := pt.procReqs[k]
+		think := thinkBacking[off : off+len(idx)]
+		off += len(idx)
+		think[0] = sorted[idx[0]].Arrival
+		for j := 1; j < len(idx); j++ {
+			t := sorted[idx[j]].Arrival - sorted[idx[j-1]].Arrival - cfg.ThinkEstimate
+			if t < 0 {
+				t = 0
 			}
-			byProc[r.Proc] = ps
-			procIDs = append(procIDs, r.Proc)
+			think[j] = t
 		}
-		think := r.Arrival
-		if n := len(ps.reqs); n > 0 {
-			think = r.Arrival - ps.reqs[n-1].Arrival - cfg.ThinkEstimate
-			if think < 0 {
-				think = 0
-			}
+		streams[k] = procStream{
+			proc:        p,
+			idx:         idx,
+			think:       think,
+			ready:       think[0],
+			completions: ringBacking[k*cfg.AsyncDepth : (k+1)*cfg.AsyncDepth],
 		}
-		ps.reqs = append(ps.reqs, r)
-		ps.disks = append(ps.disks, d)
-		ps.think = append(ps.think, think)
 	}
 
 	// The heap never outgrows the processor count: Pop shrinks the slice
 	// and Push re-appends within the same backing array, so sizing the
 	// capacity once keeps the issue loop allocation-free.
-	hs := make(streamHeap, 0, len(procIDs))
+	hs := make(streamHeap, 0, len(streams))
 	h := &hs
-	for _, p := range procIDs {
-		ps := byProc[p]
-		ps.ready = ps.think[0]
-		ps.completions = make([]float64, cfg.AsyncDepth)
-		heap.Push(h, ps)
+	for k := range streams {
+		heap.Push(h, &streams[k])
 	}
 	for h.Len() > 0 {
 		ps := heap.Pop(h).(*procStream)
 		k := ps.next
-		r, d := ps.reqs[k], ps.disks[k]
+		i := ps.idx[k]
+		r, d := sorted[i], pt.diskIdx[i]
 		issue := ps.ready
 		completion, resp := states[d].service(issue, r.Size, &res.PerDisk[d])
 		res.ResponseTime += resp
@@ -459,7 +519,7 @@ func runClosedLoop(reqs []trace.Request, diskOf func(int64) (int, error), cfg Co
 		}
 		ps.completions[k%cfg.AsyncDepth] = completion
 		ps.next++
-		if ps.next < len(ps.reqs) {
+		if ps.next < len(ps.idx) {
 			// The processor issues the next request after its compute gap,
 			// but no sooner than the completion AsyncDepth requests back
 			// (the outstanding window is full until then).
@@ -473,7 +533,6 @@ func runClosedLoop(reqs []trace.Request, diskOf func(int64) (int, error), cfg Co
 			heap.Push(h, ps)
 		}
 	}
-	return nil
 }
 
 // diskSim simulates one disk.
