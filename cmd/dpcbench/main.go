@@ -12,6 +12,9 @@
 //	dpcbench -ablation stripes    # stripe-factor sweep
 //	dpcbench -size tiny           # quick run at test scale
 //	dpcbench -all -json BENCH_suite.json   # machine-readable metrics
+//	dpcbench -report text         # energy/idle-locality/stage-timing report
+//	dpcbench -all -trace-out trace.json    # Chrome trace of the pipeline (Perfetto)
+//	dpcbench -all -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // The evaluation grid (app × version × procs) is embarrassingly parallel;
 // -jobs bounds the worker pool (0 = GOMAXPROCS) and reaches every layer:
@@ -32,23 +35,44 @@ import (
 	"diskreuse/internal/disk"
 	"diskreuse/internal/exp"
 	"diskreuse/internal/layoutopt"
+	"diskreuse/internal/obs"
 	"diskreuse/internal/sema"
 )
 
+// options bundles the command-line configuration of one dpcbench run.
+type options struct {
+	table, figure, ablation string
+	all                     bool
+	size                    string
+	procs, jobs             int
+	csvPath, jsonPath       string
+	// report renders the observability report (per-app × per-version
+	// energy/degradation/idle-locality rows plus stage timings) to stdout
+	// in the named format: text, json, or csv.
+	report string
+	// traceOut writes the run's pipeline spans as Chrome trace_event JSON.
+	traceOut string
+	// cpuProfile/memProfile are the stdlib pprof outputs.
+	cpuProfile, memProfile string
+}
+
 func main() {
-	var (
-		table    = flag.String("table", "", "regenerate a table: 1 or 2")
-		figure   = flag.String("figure", "", "regenerate a figure: 9a, 9b, 10a, or 10b")
-		ablation = flag.String("ablation", "", "run an ablation: stripes, threshold, window, layoutopt")
-		all      = flag.Bool("all", false, "regenerate every table and figure")
-		size     = flag.String("size", "default", "workload scale: tiny, small, or default")
-		procs    = flag.Int("procs", 4, "processor count for the (b) figures")
-		jobs     = flag.Int("jobs", 0, "max concurrent pipeline cells (0 = GOMAXPROCS, 1 = serial)")
-		csvPath  = flag.String("csv", "", "also write the suite results in CSV long form to this file")
-		jsonPath = flag.String("json", "", "also write the suite's normalized-energy and degradation metrics as JSON to this file (e.g. BENCH_suite.json)")
-	)
+	var o options
+	flag.StringVar(&o.table, "table", "", "regenerate a table: 1 or 2")
+	flag.StringVar(&o.figure, "figure", "", "regenerate a figure: 9a, 9b, 10a, or 10b")
+	flag.StringVar(&o.ablation, "ablation", "", "run an ablation: stripes, threshold, window, layoutopt")
+	flag.BoolVar(&o.all, "all", false, "regenerate every table and figure")
+	flag.StringVar(&o.size, "size", "default", "workload scale: tiny, small, or default")
+	flag.IntVar(&o.procs, "procs", 4, "processor count for the (b) figures")
+	flag.IntVar(&o.jobs, "jobs", 0, "max concurrent pipeline cells (0 = GOMAXPROCS, 1 = serial)")
+	flag.StringVar(&o.csvPath, "csv", "", "also write the suite results in CSV long form to this file")
+	flag.StringVar(&o.jsonPath, "json", "", "also write the suite's normalized-energy and degradation metrics as JSON to this file (e.g. BENCH_suite.json)")
+	flag.StringVar(&o.report, "report", "", "render the energy/idle-locality/stage-timing report to stdout: text, json, or csv")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write pipeline spans as Chrome trace_event JSON to this file (load in Perfetto)")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
-	if err := run(*table, *figure, *ablation, *all, *size, *procs, *jobs, *csvPath, *jsonPath); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dpcbench:", err)
 		os.Exit(1)
 	}
@@ -66,25 +90,42 @@ func sizeOf(s string) (apps.Size, error) {
 	return 0, fmt.Errorf("unknown size %q", s)
 }
 
-func run(table, figure, ablation string, all bool, sizeName string, procs, jobs int, csvPath, jsonPath string) error {
-	size, err := sizeOf(sizeName)
+func run(o options) (err error) {
+	size, err := sizeOf(o.size)
 	if err != nil {
 		return err
 	}
-	if !all && table == "" && figure == "" && ablation == "" {
+	stopProfiles, err := obs.StartProfiles(o.cpuProfile, o.memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+	table, figure, ablation := o.table, o.figure, o.ablation
+	all := o.all
+	if !all && table == "" && figure == "" && ablation == "" && o.report == "" {
 		all = true
+	}
+	var tr *obs.Tracer
+	if o.traceOut != "" || o.report != "" {
+		tr = obs.NewTracer()
 	}
 
 	var suite1, suiteN *exp.SuiteResult
-	need1 := all || table == "2" || figure == "9a" || figure == "10a" || csvPath != "" || jsonPath != ""
-	needN := all || figure == "9b" || figure == "10b" || csvPath != "" || jsonPath != ""
+	need1 := all || table == "2" || figure == "9a" || figure == "10a" ||
+		o.csvPath != "" || o.jsonPath != "" || o.report != ""
+	needN := all || figure == "9b" || figure == "10b" ||
+		o.csvPath != "" || o.jsonPath != "" || o.report != ""
 	if need1 {
-		if suite1, err = exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: jobs}); err != nil {
+		if suite1, err = exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: o.jobs, Tracer: tr}); err != nil {
 			return err
 		}
 	}
 	if needN {
-		if suiteN, err = exp.RunSuite(exp.Options{Size: size, Procs: procs, Jobs: jobs}); err != nil {
+		if suiteN, err = exp.RunSuite(exp.Options{Size: size, Procs: o.procs, Jobs: o.jobs, Tracer: tr}); err != nil {
 			return err
 		}
 	}
@@ -112,11 +153,16 @@ func run(table, figure, ablation string, all bool, sizeName string, procs, jobs 
 	if all {
 		fmt.Println("Average savings/degradations, single processor:")
 		fmt.Println(exp.Summary(suite1))
-		fmt.Printf("Average savings/degradations, %d processors:\n", procs)
+		fmt.Printf("Average savings/degradations, %d processors:\n", o.procs)
 		fmt.Println(exp.Summary(suiteN))
 	}
-	if csvPath != "" {
-		f, err := os.Create(csvPath)
+	if o.report != "" {
+		if err := exp.BuildReport(tr, suite1, suiteN).Render(os.Stdout, o.report); err != nil {
+			return err
+		}
+	}
+	if o.csvPath != "" {
+		f, err := os.Create(o.csvPath)
 		if err != nil {
 			return err
 		}
@@ -136,10 +182,10 @@ func run(table, figure, ablation string, all bool, sizeName string, procs, jobs 
 		if _, err := f.WriteString(body); err != nil {
 			return err
 		}
-		fmt.Printf("wrote CSV results to %s\n", csvPath)
+		fmt.Fprintf(os.Stderr, "wrote CSV results to %s\n", o.csvPath)
 	}
-	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
+	if o.jsonPath != "" {
+		f, err := os.Create(o.jsonPath)
 		if err != nil {
 			return err
 		}
@@ -147,7 +193,18 @@ func run(table, figure, ablation string, all bool, sizeName string, procs, jobs 
 		if err := exp.WriteJSON(f, suite1, suiteN); err != nil {
 			return err
 		}
-		fmt.Printf("wrote JSON metrics to %s\n", jsonPath)
+		fmt.Fprintf(os.Stderr, "wrote JSON metrics to %s\n", o.jsonPath)
+	}
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace (%d spans) to %s\n", tr.SpanCount(), o.traceOut)
 	}
 
 	switch ablation {
@@ -155,15 +212,15 @@ func run(table, figure, ablation string, all bool, sizeName string, procs, jobs 
 	case "stripes":
 		return ablationStripes(size)
 	case "threshold":
-		return ablationThreshold(size, jobs)
+		return ablationThreshold(size, o.jobs)
 	case "window":
-		return ablationWindow(size, jobs)
+		return ablationWindow(size, o.jobs)
 	case "layoutopt":
 		return ablationLayoutOpt(size)
 	case "proactive":
-		return ablationProactive(size, jobs)
+		return ablationProactive(size, o.jobs)
 	case "raid":
-		return ablationRAID(size, jobs)
+		return ablationRAID(size, o.jobs)
 	default:
 		return fmt.Errorf("unknown ablation %q", ablation)
 	}

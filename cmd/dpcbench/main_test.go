@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"os"
 	"strings"
@@ -39,48 +40,51 @@ func capture(t *testing.T, fn func() error) string {
 }
 
 func TestTable1(t *testing.T) {
-	out := capture(t, func() error { return run("1", "", "", false, "tiny", 2, 1, "", "") })
+	out := capture(t, func() error { return run(options{table: "1", size: "tiny", procs: 2, jobs: 1}) })
 	if !strings.Contains(out, "IBM Ultrastar 36Z15") || !strings.Contains(out, "15.2 sec") {
 		t.Errorf("Table 1 output:\n%s", out)
 	}
 }
 
 func TestTable2AndFigures(t *testing.T) {
-	out := capture(t, func() error { return run("2", "", "", false, "tiny", 2, 1, "", "") })
+	out := capture(t, func() error { return run(options{table: "2", size: "tiny", procs: 2, jobs: 1}) })
 	if !strings.Contains(out, "Number of Disk Reqs") || !strings.Contains(out, "Cholesky") {
 		t.Errorf("Table 2 output:\n%s", out)
 	}
-	out = capture(t, func() error { return run("", "9a", "", false, "tiny", 2, 0, "", "") })
+	out = capture(t, func() error { return run(options{figure: "9a", size: "tiny", procs: 2}) })
 	if !strings.Contains(out, "Figure 9(a)") {
 		t.Errorf("Figure 9a output:\n%s", out)
 	}
-	out = capture(t, func() error { return run("", "10b", "", false, "tiny", 2, 0, "", "") })
+	out = capture(t, func() error { return run(options{figure: "10b", size: "tiny", procs: 2}) })
 	if !strings.Contains(out, "Figure 10(b) 2 processors") || !strings.Contains(out, "T-DRPM-m") {
 		t.Errorf("Figure 10b output:\n%s", out)
 	}
 }
 
 func TestAblations(t *testing.T) {
-	out := capture(t, func() error { return run("", "", "threshold", false, "tiny", 2, 0, "", "") })
+	out := capture(t, func() error { return run(options{ablation: "threshold", size: "tiny", procs: 2}) })
 	if !strings.Contains(out, "threshold  15.2 s") {
 		t.Errorf("threshold ablation output:\n%s", out)
 	}
-	out = capture(t, func() error { return run("", "", "window", false, "tiny", 2, 0, "", "") })
+	out = capture(t, func() error { return run(options{ablation: "window", size: "tiny", procs: 2}) })
 	if !strings.Contains(out, "window  100 requests") {
 		t.Errorf("window ablation output:\n%s", out)
 	}
-	out = capture(t, func() error { return run("", "", "stripes", false, "tiny", 2, 0, "", "") })
+	out = capture(t, func() error { return run(options{ablation: "stripes", size: "tiny", procs: 2}) })
 	if !strings.Contains(out, "<== best") {
 		t.Errorf("stripes ablation output:\n%s", out)
 	}
 }
 
 func TestErrors(t *testing.T) {
-	if err := run("", "", "", false, "huge", 2, 0, "", ""); err == nil {
+	if err := run(options{size: "huge", procs: 2}); err == nil {
 		t.Error("bad size must fail")
 	}
-	if err := run("", "", "bogus", false, "tiny", 2, 0, "", ""); err == nil {
+	if err := run(options{ablation: "bogus", size: "tiny", procs: 2}); err == nil {
 		t.Error("bad ablation must fail")
+	}
+	if err := run(options{report: "yaml", size: "tiny", procs: 2}); err == nil {
+		t.Error("bad report format must fail")
 	}
 }
 
@@ -89,10 +93,7 @@ func TestErrors(t *testing.T) {
 // normalized-energy and degradation metrics.
 func TestJSONOutput(t *testing.T) {
 	path := t.TempDir() + "/BENCH_suite.json"
-	out := capture(t, func() error { return run("", "9a", "", false, "tiny", 2, 4, "", path) })
-	if !strings.Contains(out, "wrote JSON metrics") {
-		t.Errorf("missing JSON confirmation:\n%s", out)
-	}
+	capture(t, func() error { return run(options{figure: "9a", size: "tiny", procs: 2, jobs: 4, jsonPath: path}) })
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -107,8 +108,9 @@ func TestJSONOutput(t *testing.T) {
 		Apps []struct {
 			App     string `json:"app"`
 			Results []struct {
-				Version    string  `json:"version"`
-				NormEnergy float64 `json:"norm_energy"`
+				Version     string  `json:"version"`
+				NormEnergy  float64 `json:"norm_energy"`
+				IdlePeriods int     `json:"idle_periods"`
 			} `json:"results"`
 		} `json:"apps"`
 	}
@@ -127,16 +129,16 @@ func TestJSONOutput(t *testing.T) {
 			if r.Version == "Base" && r.NormEnergy != 1 {
 				t.Errorf("%s: Base norm_energy = %v", a.App, r.NormEnergy)
 			}
+			if r.IdlePeriods <= 0 {
+				t.Errorf("%s/%s: idle_periods = %d, want > 0", a.App, r.Version, r.IdlePeriods)
+			}
 		}
 	}
 }
 
 func TestCSVOutput(t *testing.T) {
 	path := t.TempDir() + "/out.csv"
-	out := capture(t, func() error { return run("", "9a", "", false, "tiny", 2, 0, path, "") })
-	if !strings.Contains(out, "wrote CSV results") {
-		t.Errorf("missing CSV confirmation:\n%s", out)
-	}
+	capture(t, func() error { return run(options{figure: "9a", size: "tiny", procs: 2, csvPath: path}) })
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -148,5 +150,129 @@ func TestCSVOutput(t *testing.T) {
 	}
 	if strings.Count(string(data), "app,version") != 1 {
 		t.Error("header must appear exactly once")
+	}
+}
+
+// TestReport exercises the -report renderer in every format. With only
+// -report set, nothing else prints to stdout, so machine formats stay
+// machine-parseable.
+func TestReport(t *testing.T) {
+	out := capture(t, func() error { return run(options{report: "text", size: "tiny", procs: 2, jobs: 2}) })
+	for _, want := range []string{"Report: 1 processor(s)", "Report: 2 processor(s)",
+		"Mean idle (s)", "Pipeline stages:", "disk-replay", "Worker pool:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+
+	out = capture(t, func() error { return run(options{report: "json", size: "tiny", procs: 2, jobs: 2}) })
+	var rep struct {
+		Suites []struct {
+			Procs int `json:"procs"`
+			Rows  []struct {
+				App  string `json:"app"`
+				Idle struct {
+					Periods int `json:"periods"`
+				} `json:"idle"`
+			} `json:"rows"`
+		} `json:"suites"`
+		Stages []struct {
+			Name  string `json:"name"`
+			Count int    `json:"count"`
+		} `json:"stages"`
+		Pool *struct {
+			Tasks int64 `json:"tasks"`
+		} `json:"pool"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad report JSON: %v\n%s", err, out)
+	}
+	if len(rep.Suites) != 2 || len(rep.Suites[0].Rows) != 6*5 || len(rep.Suites[1].Rows) != 6*7 {
+		t.Fatalf("wrong report shape: %+v", rep.Suites)
+	}
+	for _, row := range rep.Suites[0].Rows {
+		if row.Idle.Periods <= 0 {
+			t.Errorf("%s: idle periods = %d", row.App, row.Idle.Periods)
+		}
+	}
+	stages := make(map[string]int)
+	for _, st := range rep.Stages {
+		stages[st.Name] = st.Count
+	}
+	for _, name := range []string{"parse", "sema", "space", "validate", "deps",
+		"attribute-disks", "restructure", "generate-trace", "prepare-trace", "sim", "disk-replay"} {
+		if stages[name] == 0 {
+			t.Errorf("stage %q missing from report (got %v)", name, stages)
+		}
+	}
+	if rep.Pool == nil || rep.Pool.Tasks == 0 {
+		t.Errorf("pool stats missing: %+v", rep.Pool)
+	}
+
+	out = capture(t, func() error { return run(options{report: "csv", size: "tiny", procs: 2}) })
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("bad report CSV: %v\n%s", err, out)
+	}
+	if len(recs) != 1+6*5+6*7 {
+		t.Errorf("report csv rows = %d", len(recs))
+	}
+	if recs[0][0] != "procs" || recs[0][10] != "idle_periods" {
+		t.Errorf("report csv header = %v", recs[0])
+	}
+}
+
+// TestTraceOut checks the Chrome trace export: valid trace_event JSON with
+// complete ("X") span events for the pipeline stages.
+func TestTraceOut(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	capture(t, func() error { return run(options{figure: "9a", size: "tiny", procs: 2, jobs: 2, traceOut: path}) })
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("bad trace JSON: %v", err)
+	}
+	spans := 0
+	names := make(map[string]bool)
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+			names[ev.Name] = true
+		}
+	}
+	if spans == 0 {
+		t.Fatal("no span events in trace")
+	}
+	for _, want := range []string{"prepare", "parse", "sim", "disk-replay"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestProfileFlags checks the -cpuprofile/-memprofile plumbing end to end.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+	capture(t, func() error {
+		return run(options{table: "1", size: "tiny", procs: 2, cpuProfile: cpu, memProfile: mem})
+	})
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }

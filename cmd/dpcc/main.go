@@ -6,8 +6,12 @@
 // Usage:
 //
 //	dpcc [-code] [-stats] [-deps] [-procs N] [-jobs N] [file.drl]
+//	dpcc -trace-out t.json file.drl    # Chrome trace of the analysis passes
+//	dpcc -report text file.drl         # stage-timing report (text, json, csv)
 //
-// With no file the program is read from standard input.
+// With no file the program is read from standard input. When stdout
+// carries a machine-readable report (-report json/csv), the compiler's
+// human-readable output moves to stderr.
 package main
 
 import (
@@ -20,110 +24,189 @@ import (
 	"diskreuse/internal/core"
 	"diskreuse/internal/dep"
 	"diskreuse/internal/layout"
+	"diskreuse/internal/obs"
 	"diskreuse/internal/par"
 	"diskreuse/internal/parser"
 	"diskreuse/internal/sema"
 )
 
+// options bundles the command-line configuration of one dpcc run.
+type options struct {
+	showCode               bool
+	showStats              bool
+	showDeps               bool
+	procs                  int
+	jobs                   int
+	report                 string
+	traceOut               string
+	cpuProfile, memProfile string
+	// srcPath is the positional DRL file; empty reads stdin.
+	srcPath string
+}
+
 func main() {
-	var (
-		showCode  = flag.Bool("code", false, "print the restructured per-disk loop nests")
-		showStats = flag.Bool("stats", true, "print disk-reuse clustering statistics")
-		showDeps  = flag.Bool("deps", false, "print the static data dependences per nest")
-		procs     = flag.Int("procs", 1, "processors for the layout-aware parallelization report")
-		jobs      = flag.Int("jobs", 1, "worker pool for the analysis front-end (0 = all CPUs)")
-	)
+	var o options
+	flag.BoolVar(&o.showCode, "code", false, "print the restructured per-disk loop nests")
+	flag.BoolVar(&o.showStats, "stats", true, "print disk-reuse clustering statistics")
+	flag.BoolVar(&o.showDeps, "deps", false, "print the static data dependences per nest")
+	flag.IntVar(&o.procs, "procs", 1, "processors for the layout-aware parallelization report")
+	flag.IntVar(&o.jobs, "jobs", 1, "worker pool for the analysis front-end (0 = all CPUs)")
+	flag.StringVar(&o.report, "report", "", "render the stage-timing report to stdout: text, json, or csv")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write analysis spans as Chrome trace_event JSON to this file (load in Perfetto)")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
-	if err := run(*showCode, *showStats, *showDeps, *procs, *jobs); err != nil {
+	if flag.NArg() > 0 {
+		o.srcPath = flag.Arg(0)
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dpcc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(showCode, showStats, showDeps bool, procs, jobs int) error {
+func run(o options) (err error) {
+	stopProfiles, err := obs.StartProfiles(o.cpuProfile, o.memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+	// Keep stdout machine-parseable when it carries JSON or CSV.
+	out := io.Writer(os.Stdout)
+	if o.report == "json" || o.report == "csv" {
+		out = os.Stderr
+	}
+	var tr *obs.Tracer
+	if o.traceOut != "" || o.report != "" {
+		tr = obs.NewTracer()
+	}
+
 	var src []byte
-	var err error
-	if flag.NArg() > 0 {
-		src, err = os.ReadFile(flag.Arg(0))
+	if o.srcPath != "" {
+		src, err = os.ReadFile(o.srcPath)
 	} else {
 		src, err = io.ReadAll(os.Stdin)
 	}
 	if err != nil {
 		return err
 	}
+	root := tr.Start("compile", "pipeline")
+	defer root.End()
+	sp := root.Child("parse")
 	astProg, err := parser.Parse(string(src))
+	sp.End()
 	if err != nil {
 		return err
 	}
+	sp = root.Child("sema")
 	prog, err := sema.Analyze(astProg, sema.Options{})
+	sp.End()
 	if err != nil {
 		return err
 	}
+	sp = root.Child("layout")
 	lay, err := layout.New(prog, 0)
+	sp.End()
 	if err != nil {
 		return err
 	}
-	r, err := core.NewCtx(context.Background(), prog, lay, core.Options{Jobs: jobs})
+	ctx := obs.WithPool(context.Background(), tr.Pool())
+	r, err := core.NewCtx(ctx, prog, lay, core.Options{Jobs: o.jobs, Span: root})
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("program: %d arrays, %d nests, %d iterations, %d disks\n",
+	fmt.Fprintf(out, "program: %d arrays, %d nests, %d iterations, %d disks\n",
 		len(prog.Arrays), len(prog.Nests), r.Space.NumIterations(), lay.NumDisks())
 
-	if showDeps {
+	if o.showDeps {
 		for _, n := range prog.Nests {
 			deps := dep.AnalyzeNest(n)
-			fmt.Printf("nest %s: %d static dependences\n", n.Name, len(deps))
+			fmt.Fprintf(out, "nest %s: %d static dependences\n", n.Name, len(deps))
 			for _, d := range deps {
-				fmt.Printf("  %s\n", d)
+				fmt.Fprintf(out, "  %s\n", d)
 			}
 		}
-		fmt.Printf("exact dependence graph: %d edges\n", r.Graph.NumEdges())
+		fmt.Fprintf(out, "exact dependence graph: %d edges\n", r.Graph.NumEdges())
 	}
 
-	if showStats {
+	if o.showStats {
 		orig := core.Stats(r.OriginalSchedule(), lay.NumDisks())
+		sp = root.Child("restructure")
 		sched, err := r.DiskReuseSchedule()
+		sp.End()
 		if err != nil {
 			return err
 		}
-		if err := r.Verify(sched); err != nil {
-			return fmt.Errorf("restructured schedule failed verification: %w", err)
+		sp = root.Child("verify")
+		verr := r.Verify(sched)
+		sp.End()
+		if verr != nil {
+			return fmt.Errorf("restructured schedule failed verification: %w", verr)
 		}
 		restr := core.Stats(sched, lay.NumDisks())
-		fmt.Printf("original:     %s\n", orig)
-		fmt.Printf("restructured: %s\n", restr)
+		fmt.Fprintf(out, "original:     %s\n", orig)
+		fmt.Fprintf(out, "restructured: %s\n", restr)
 	}
 
-	if procs > 1 {
-		lp, err := par.LoopParallelize(r, procs)
+	if o.procs > 1 {
+		sp = root.Child("parallelize")
+		lp, err := par.LoopParallelize(r, o.procs)
+		if err != nil {
+			sp.End()
+			return err
+		}
+		la, err := par.LayoutAware(r, o.procs)
+		sp.End()
 		if err != nil {
 			return err
 		}
-		la, err := par.LayoutAware(r, procs)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("loop parallelization (procs=%d): loads=%v imbalance=%.3f\n",
-			procs, lp.Loads(), lp.Imbalance())
-		fmt.Printf("layout-aware (procs=%d):         loads=%v imbalance=%.3f\n",
-			procs, la.Loads(), la.Imbalance())
+		fmt.Fprintf(out, "loop parallelization (procs=%d): loads=%v imbalance=%.3f\n",
+			o.procs, lp.Loads(), lp.Imbalance())
+		fmt.Fprintf(out, "layout-aware (procs=%d):         loads=%v imbalance=%.3f\n",
+			o.procs, la.Loads(), la.Imbalance())
 		for k, n := range prog.Nests {
 			lvl := "sequential"
 			if lp.ParallelLevel[k] >= 0 {
 				lvl = fmt.Sprintf("loop %d (%s)", lp.ParallelLevel[k], n.Loops[lp.ParallelLevel[k]].Var)
 			}
-			fmt.Printf("  nest %-12s parallelized at %s\n", n.Name, lvl)
+			fmt.Fprintf(out, "  nest %-12s parallelized at %s\n", n.Name, lvl)
 		}
 	}
 
-	if showCode {
-		code, err := r.RestructuredPseudoCode()
+	if o.showCode {
+		sp = root.Child("codegen")
+		code, cerr := r.RestructuredPseudoCode()
+		sp.End()
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Fprintln(out, code)
+	}
+	root.End()
+
+	if o.report != "" {
+		rep := &obs.Report{Stages: tr.Totals()}
+		ps := tr.Pool().Snapshot()
+		rep.Pool = &ps
+		if err := rep.Render(os.Stdout, o.report); err != nil {
+			return err
+		}
+	}
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
 		if err != nil {
 			return err
 		}
-		fmt.Println(code)
+		defer f.Close()
+		if err := tr.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace (%d spans) to %s\n", tr.SpanCount(), o.traceOut)
 	}
 	return nil
 }

@@ -1,18 +1,11 @@
 package main
 
 import (
-	"flag"
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
 )
-
-// resetFlagsAndParse replaces the global flag set and parses os.Args, so a
-// test can hand run() a positional file argument.
-func resetFlagsAndParse() error {
-	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ContinueOnError)
-	return flag.CommandLine.Parse(os.Args[1:])
-}
 
 const testSrc = `
 array A[4096] elem 4096 stripe(unit=32K, factor=4, start=0)
@@ -63,7 +56,7 @@ func withStdio(t *testing.T, src string, fn func() error) string {
 
 func TestRunFullReport(t *testing.T) {
 	out := withStdio(t, testSrc, func() error {
-		return run(true, true, true, 2, 2)
+		return run(options{showCode: true, showStats: true, showDeps: true, procs: 2, jobs: 2})
 	})
 	for _, want := range []string{
 		"program: 2 arrays, 2 nests, 8192 iterations, 4 disks",
@@ -90,7 +83,7 @@ func TestRunBadProgram(t *testing.T) {
 		inW.WriteString("this is not DRL")
 		inW.Close()
 	}()
-	if err := run(false, false, false, 1, 1); err == nil {
+	if err := run(options{jobs: 1, procs: 1}); err == nil {
 		t.Error("bad program must fail")
 	}
 }
@@ -104,16 +97,62 @@ func TestRunFromFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	// Simulate a positional argument by parsing a fresh flag set.
-	oldArgs := os.Args
-	os.Args = []string{"dpcc", f.Name()}
-	defer func() { os.Args = oldArgs }()
-	// run() consults flag.Arg(0); ensure the global flag set sees the file.
-	if err := resetFlagsAndParse(); err != nil {
-		t.Fatal(err)
-	}
-	out := withStdio(t, "", func() error { return run(false, true, false, 1, 1) })
+	out := withStdio(t, "", func() error {
+		return run(options{showStats: true, procs: 1, jobs: 1, srcPath: f.Name()})
+	})
 	if !strings.Contains(out, "8192 iterations") {
 		t.Errorf("output missing stats:\n%s", out)
+	}
+}
+
+// TestTraceAndReport drives -trace-out and -report json together: the
+// Chrome trace must parse with span events for the compiler passes, and the
+// report must carry stage timings while stdout stays pure JSON (the human
+// output moves to stderr).
+func TestTraceAndReport(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	out := withStdio(t, testSrc, func() error {
+		return run(options{showStats: true, procs: 1, jobs: 2, report: "json", traceOut: path})
+	})
+	var rep struct {
+		Stages []struct {
+			Name  string `json:"name"`
+			Count int    `json:"count"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("stdout is not pure report JSON: %v\n%s", err, out)
+	}
+	stages := make(map[string]int)
+	for _, st := range rep.Stages {
+		stages[st.Name] = st.Count
+	}
+	for _, name := range []string{"compile", "parse", "sema", "layout", "space",
+		"validate", "deps", "attribute-disks", "restructure", "verify"} {
+		if stages[name] == 0 {
+			t.Errorf("stage %q missing from report (got %v)", name, stages)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("bad trace JSON: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+		}
+	}
+	if !names["compile"] || !names["parse"] || !names["deps"] {
+		t.Errorf("trace missing compiler spans (have %v)", names)
 	}
 }

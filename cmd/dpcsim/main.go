@@ -8,6 +8,9 @@
 //
 //	dpcsim -policy tpm [-disks 8] [-unit 32768] [-start 0] [trace.txt]
 //	dpcsim -policy all -jobs 3 trace.txt   # compare all policies at once
+//	dpcsim -policy all -json trace.txt     # machine-readable results on stdout
+//	dpcsim -policy all -report text trace.txt      # energy/idle-locality report
+//	dpcsim -policy all -trace-out t.json trace.txt # Chrome trace (Perfetto)
 //
 // With no file the trace is read from standard input. -policy accepts a
 // single policy, a comma-separated list (e.g. "none,tpm,drpm"), or "all";
@@ -16,10 +19,15 @@
 // simulations fan out over -jobs workers and the reports print in the
 // order the policies were given; the same -jobs budget also shards each
 // open-loop replay across its disks (sim.Config.Jobs).
+//
+// When stdout carries a machine-readable format (-json, or -report with
+// json/csv), the human-readable result blocks move to stderr so the two
+// never interleave.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,24 +36,50 @@ import (
 
 	"diskreuse/internal/disk"
 	"diskreuse/internal/exp"
+	"diskreuse/internal/obs"
 	"diskreuse/internal/sim"
 	"diskreuse/internal/trace"
 	"diskreuse/internal/viz"
 )
 
+// options bundles the command-line configuration of one dpcsim run.
+type options struct {
+	policy                 string
+	disks                  int
+	unit                   int64
+	start                  int
+	pageSize               int64
+	perDisk                bool
+	timeline               int
+	jobs                   int
+	jsonOut                bool
+	report                 string
+	traceOut               string
+	cpuProfile, memProfile string
+	// tracePath is the positional trace-file argument; empty reads stdin.
+	tracePath string
+}
+
 func main() {
-	var (
-		policy   = flag.String("policy", "none", "power management policy: none, tpm, drpm, a comma-separated list, or all")
-		disks    = flag.Int("disks", 8, "number of I/O nodes (stripe factor)")
-		unit     = flag.Int64("unit", 32<<10, "stripe unit in bytes")
-		start    = flag.Int("start", 0, "starting disk")
-		pageSize = flag.Int64("page", 4096, "page size the trace's blocks are numbered in")
-		perDisk  = flag.Bool("perdisk", false, "print per-disk statistics")
-		timeline = flag.Int("timeline", 0, "render an ASCII disk-activity timeline this many columns wide")
-		jobs     = flag.Int("jobs", 0, "max concurrent policy simulations and per-disk replay workers (0 = GOMAXPROCS)")
-	)
+	var o options
+	flag.StringVar(&o.policy, "policy", "none", "power management policy: none, tpm, drpm, a comma-separated list, or all")
+	flag.IntVar(&o.disks, "disks", 8, "number of I/O nodes (stripe factor)")
+	flag.Int64Var(&o.unit, "unit", 32<<10, "stripe unit in bytes")
+	flag.IntVar(&o.start, "start", 0, "starting disk")
+	flag.Int64Var(&o.pageSize, "page", 4096, "page size the trace's blocks are numbered in")
+	flag.BoolVar(&o.perDisk, "perdisk", false, "print per-disk statistics")
+	flag.IntVar(&o.timeline, "timeline", 0, "render an ASCII disk-activity timeline this many columns wide")
+	flag.IntVar(&o.jobs, "jobs", 0, "max concurrent policy simulations and per-disk replay workers (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit per-policy results as JSON on stdout (human output moves to stderr)")
+	flag.StringVar(&o.report, "report", "", "render the energy/idle-locality report to stdout: text, json, or csv")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write simulation spans as Chrome trace_event JSON to this file (load in Perfetto)")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
-	if err := run(*policy, *disks, *unit, *start, *pageSize, *perDisk, *timeline, *jobs); err != nil {
+	if flag.NArg() > 0 {
+		o.tracePath = flag.Arg(0)
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dpcsim:", err)
 		os.Exit(1)
 	}
@@ -76,43 +110,79 @@ func parsePolicies(s string) ([]sim.Policy, error) {
 	return pols, nil
 }
 
-func run(policy string, disks int, unit int64, start int, pageSize int64, perDisk bool, timeline, jobs int) error {
-	pols, err := parsePolicies(policy)
+// policyJSON is one policy's machine-readable result (-json output).
+type policyJSON struct {
+	Policy      string        `json:"policy"`
+	EnergyJ     float64       `json:"energy_j"`
+	NormEnergy  float64       `json:"norm_energy,omitempty"`
+	IOTimeS     float64       `json:"io_time_s"`
+	ResponseS   float64       `json:"response_s"`
+	MakespanS   float64       `json:"makespan_s"`
+	Requests    int           `json:"requests"`
+	SpinUps     int           `json:"spin_ups"`
+	SpeedShifts int           `json:"speed_shifts"`
+	Idle        obs.IdleStats `json:"idle"`
+}
+
+func run(o options) (err error) {
+	pols, err := parsePolicies(o.policy)
 	if err != nil {
 		return err
 	}
-	if timeline > 0 && len(pols) > 1 {
+	if o.timeline > 0 && len(pols) > 1 {
 		return fmt.Errorf("-timeline requires a single policy, got %d", len(pols))
 	}
+	stopProfiles, err := obs.StartProfiles(o.cpuProfile, o.memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+	// Keep stdout machine-parseable when it carries JSON or CSV: the
+	// human-readable result blocks (and the timeline) move to stderr.
+	human := io.Writer(os.Stdout)
+	if o.jsonOut || o.report == "json" || o.report == "csv" {
+		human = os.Stderr
+	}
+	var tr *obs.Tracer
+	if o.traceOut != "" || o.report != "" {
+		tr = obs.NewTracer()
+	}
+
 	var in io.Reader = os.Stdin
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+	if o.tracePath != "" {
+		f, err := os.Open(o.tracePath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		in = f
 	}
+	sp := tr.Start("decode", "pipeline")
 	reqs, err := trace.Decode(in)
+	sp.End()
 	if err != nil {
 		return err
 	}
-	if unit%pageSize != 0 {
-		return fmt.Errorf("stripe unit %d must be a multiple of the page size %d", unit, pageSize)
+	if o.unit%o.pageSize != 0 {
+		return fmt.Errorf("stripe unit %d must be a multiple of the page size %d", o.unit, o.pageSize)
 	}
-	pagesPerStripe := unit / pageSize
+	pagesPerStripe := o.unit / o.pageSize
 	diskOf := func(block int64) (int, error) {
 		if block < 0 {
 			return 0, fmt.Errorf("negative block %d", block)
 		}
-		return start + int((block/pagesPerStripe)%int64(disks-start)), nil
+		return o.start + int((block/pagesPerStripe)%int64(o.disks-o.start)), nil
 	}
-	if start >= disks {
-		return fmt.Errorf("starting disk %d outside 0..%d", start, disks-1)
+	if o.start >= o.disks {
+		return fmt.Errorf("starting disk %d outside 0..%d", o.start, o.disks-1)
 	}
 	model := disk.Ultrastar36Z15()
 	var rec *viz.Recorder
-	if timeline > 0 {
+	if o.timeline > 0 {
 		rec = viz.NewRecorder()
 	}
 
@@ -120,17 +190,27 @@ func run(policy string, disks int, unit int64, start int, pageSize int64, perDis
 	// disk — and shared read-only; each policy's simulation is
 	// independent, so they fan out over the pool and the reports print in
 	// the order the policies were given.
-	pt, err := sim.PrepareTrace(reqs, diskOf, disks)
+	sp = tr.Start("prepare-trace", "pipeline")
+	pt, err := sim.PrepareTrace(reqs, diskOf, o.disks)
+	sp.End()
 	if err != nil {
 		return err
 	}
 	results := make([]*sim.Result, len(pols))
-	err = exp.ForEach(context.Background(), len(pols), jobs, func(_ context.Context, i int) error {
+	tels := make([]*obs.SimTelemetry, len(pols))
+	ctx := obs.WithPool(context.Background(), tr.Pool())
+	err = exp.ForEach(ctx, len(pols), o.jobs, func(_ context.Context, i int) error {
+		root := tr.Start("sim", "sim")
+		root.SetAttr("policy", pols[i].String())
+		defer root.End()
+		tels[i] = obs.NewSimTelemetry(o.disks)
 		cfg := sim.Config{
-			Model:    model,
-			NumDisks: disks,
-			Policy:   pols[i],
-			Jobs:     jobs,
+			Model:     model,
+			NumDisks:  o.disks,
+			Policy:    pols[i],
+			Jobs:      o.jobs,
+			Telemetry: tels[i],
+			Span:      root,
 		}
 		if rec != nil {
 			cfg.Record = rec.Record
@@ -148,27 +228,106 @@ func run(policy string, disks int, unit int64, start int, pageSize int64, perDis
 
 	for i, res := range results {
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(human)
 		}
-		fmt.Printf("requests:        %d\n", res.Requests)
-		fmt.Printf("policy:          %s\n", res.Policy)
-		fmt.Printf("energy:          %.1f J\n", res.Energy)
-		fmt.Printf("disk I/O time:   %.1f ms\n", res.IOTime*1e3)
-		fmt.Printf("response time:   %.1f ms\n", res.ResponseTime*1e3)
-		fmt.Printf("makespan:        %.3f s\n", res.Makespan)
-		if perDisk {
+		fmt.Fprintf(human, "requests:        %d\n", res.Requests)
+		fmt.Fprintf(human, "policy:          %s\n", res.Policy)
+		fmt.Fprintf(human, "energy:          %.1f J\n", res.Energy)
+		fmt.Fprintf(human, "disk I/O time:   %.1f ms\n", res.IOTime*1e3)
+		fmt.Fprintf(human, "response time:   %.1f ms\n", res.ResponseTime*1e3)
+		fmt.Fprintf(human, "makespan:        %.3f s\n", res.Makespan)
+		if o.perDisk {
 			for d, st := range res.PerDisk {
-				fmt.Printf("disk %d: req=%d busy=%.1fs idle=%.1fs standby=%.1fs spinups=%d shifts=%d energy=%.1fJ\n",
+				fmt.Fprintf(human, "disk %d: req=%d busy=%.1fs idle=%.1fs standby=%.1fs spinups=%d shifts=%d energy=%.1fJ\n",
 					d, st.Requests, st.Meter.ActiveTime, st.Meter.IdleTime, st.Meter.StandbyTime,
 					st.Meter.SpinUps, st.Meter.SpeedShifts, st.Meter.Total())
 			}
 		}
 	}
 	if rec != nil {
-		if err := rec.Render(os.Stdout, timeline, model.RPMMax); err != nil {
+		if err := rec.Render(human, o.timeline, model.RPMMax); err != nil {
 			return err
 		}
-		fmt.Print(rec.Summary())
+		fmt.Fprint(human, rec.Summary())
+	}
+
+	// Energy normalized to the NoPM baseline, when it was simulated.
+	baseEnergy := 0.0
+	for i, p := range pols {
+		if p == sim.NoPM {
+			baseEnergy = results[i].Energy
+			break
+		}
+	}
+	if o.jsonOut {
+		out := make([]policyJSON, len(results))
+		for i, res := range results {
+			out[i] = policyJSON{
+				Policy:    res.Policy.String(),
+				EnergyJ:   res.Energy,
+				IOTimeS:   res.IOTime,
+				ResponseS: res.ResponseTime,
+				MakespanS: res.Makespan,
+				Requests:  res.Requests,
+				Idle:      tels[i].IdleLocality(),
+			}
+			if baseEnergy > 0 {
+				out[i].NormEnergy = res.Energy / baseEnergy
+			}
+			for _, st := range res.PerDisk {
+				out[i].SpinUps += st.Meter.SpinUps
+				out[i].SpeedShifts += st.Meter.SpeedShifts
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	}
+	if o.report != "" {
+		rep := &obs.Report{}
+		s := obs.SuiteReport{Procs: 1}
+		for i, res := range results {
+			idle := tels[i].IdleLocality()
+			row := obs.Row{
+				App:      "trace",
+				Version:  res.Policy.String(),
+				EnergyJ:  res.Energy,
+				IOTimeS:  res.IOTime,
+				Requests: res.Requests,
+				Idle:     idle,
+				IdleHist: obs.TrimHist(tels[i].Histogram()),
+			}
+			if baseEnergy > 0 {
+				row.NormEnergy = res.Energy / baseEnergy
+			}
+			for _, st := range res.PerDisk {
+				row.SpinUps += st.Meter.SpinUps
+				row.SpeedShifts += st.Meter.SpeedShifts
+			}
+			s.Rows = append(s.Rows, row)
+		}
+		rep.Suites = []obs.SuiteReport{s}
+		if tr != nil {
+			rep.Stages = tr.Totals()
+			ps := tr.Pool().Snapshot()
+			rep.Pool = &ps
+		}
+		if err := rep.Render(os.Stdout, o.report); err != nil {
+			return err
+		}
+	}
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace (%d spans) to %s\n", tr.SpanCount(), o.traceOut)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"strings"
@@ -67,12 +68,18 @@ func resetFlags(t *testing.T) {
 	}
 }
 
+// base returns the options every test starts from: 4 disks, default
+// striping, trace on stdin.
+func base() options {
+	return options{disks: 4, unit: 32 << 10, pageSize: 4096, jobs: 1}
+}
+
 func TestRunPolicies(t *testing.T) {
 	for _, pol := range []string{"none", "tpm", "drpm"} {
 		resetFlags(t)
-		out := withStdio(t, traceText, func() error {
-			return run(pol, 4, 32<<10, 0, 4096, true, 60, 1)
-		})
+		o := base()
+		o.policy, o.perDisk, o.timeline = pol, true, 60
+		out := withStdio(t, traceText, func() error { return run(o) })
 		for _, want := range []string{"requests:        5", "energy:", "disk I/O time:", "disk 0:"} {
 			if !strings.Contains(out, want) {
 				t.Errorf("policy %s output missing %q:\n%s", pol, want, out)
@@ -83,9 +90,9 @@ func TestRunPolicies(t *testing.T) {
 
 func TestRunTPMSleeps(t *testing.T) {
 	resetFlags(t)
-	out := withStdio(t, traceText, func() error {
-		return run("tpm", 4, 32<<10, 0, 4096, true, 60, 1)
-	})
+	o := base()
+	o.policy, o.perDisk, o.timeline = "tpm", true, 60
+	out := withStdio(t, traceText, func() error { return run(o) })
 	if !strings.Contains(out, "spinups=1") {
 		t.Errorf("expected one spin-up on disk 0:\n%s", out)
 	}
@@ -97,9 +104,9 @@ func TestRunTPMSleeps(t *testing.T) {
 func TestRunAllPolicies(t *testing.T) {
 	for _, jobs := range []int{1, 3} {
 		resetFlags(t)
-		out := withStdio(t, traceText, func() error {
-			return run("all", 4, 32<<10, 0, 4096, false, 0, jobs)
-		})
+		o := base()
+		o.policy, o.jobs = "all", jobs
+		out := withStdio(t, traceText, func() error { return run(o) })
 		for _, want := range []string{"policy:          NoPM", "policy:          TPM", "policy:          DRPM"} {
 			if !strings.Contains(out, want) {
 				t.Errorf("jobs=%d output missing %q:\n%s", jobs, want, out)
@@ -117,9 +124,9 @@ func TestRunAllPolicies(t *testing.T) {
 // The comma-list form selects exactly the named policies.
 func TestRunPolicyList(t *testing.T) {
 	resetFlags(t)
-	out := withStdio(t, traceText, func() error {
-		return run("tpm,drpm", 4, 32<<10, 0, 4096, false, 0, 2)
-	})
+	o := base()
+	o.policy, o.jobs = "tpm,drpm", 2
+	out := withStdio(t, traceText, func() error { return run(o) })
 	if strings.Contains(out, "NoPM") {
 		t.Errorf("NoPM should not run for \"tpm,drpm\":\n%s", out)
 	}
@@ -130,16 +137,24 @@ func TestRunPolicyList(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	resetFlags(t)
-	if err := run("warp", 4, 32<<10, 0, 4096, false, 0, 1); err == nil {
+	o := base()
+	o.policy = "warp"
+	if err := run(o); err == nil {
 		t.Error("unknown policy must fail")
 	}
-	if err := run("none", 4, 1000, 0, 4096, false, 0, 1); err == nil {
+	o = base()
+	o.policy, o.unit = "none", 1000
+	if err := run(o); err == nil {
 		t.Error("unit not multiple of page must fail")
 	}
-	if err := run("none", 4, 32<<10, 9, 4096, false, 0, 1); err == nil {
+	o = base()
+	o.policy, o.start = "none", 9
+	if err := run(o); err == nil {
 		t.Error("start >= disks must fail")
 	}
-	if err := run("all", 4, 32<<10, 0, 4096, false, 40, 1); err == nil {
+	o = base()
+	o.policy, o.timeline = "all", 40
+	if err := run(o); err == nil {
 		t.Error("-timeline with multiple policies must fail")
 	}
 	// Malformed trace on stdin.
@@ -152,7 +167,122 @@ func TestRunErrors(t *testing.T) {
 		inW.WriteString("not a trace line\n")
 		inW.Close()
 	}()
-	if err := run("none", 4, 32<<10, 0, 4096, false, 0, 1); err == nil {
+	o = base()
+	o.policy = "none"
+	if err := run(o); err == nil {
 		t.Error("bad trace must fail")
+	}
+}
+
+// TestJSONStdout is the -json contract: stdout holds exactly one JSON
+// document (the human result blocks move to stderr), with TPM spin-ups and
+// a NoPM-normalized energy for every policy.
+func TestJSONStdout(t *testing.T) {
+	resetFlags(t)
+	o := base()
+	o.policy, o.jsonOut, o.perDisk = "all", true, true // perDisk output must not pollute stdout
+	out := withStdio(t, traceText, func() error { return run(o) })
+	var pols []struct {
+		Policy     string  `json:"policy"`
+		EnergyJ    float64 `json:"energy_j"`
+		NormEnergy float64 `json:"norm_energy"`
+		SpinUps    int     `json:"spin_ups"`
+		Idle       struct {
+			Periods      int     `json:"periods"`
+			LongestIdleS float64 `json:"longest_idle_s"`
+		} `json:"idle"`
+	}
+	if err := json.Unmarshal([]byte(out), &pols); err != nil {
+		t.Fatalf("stdout is not a single JSON document: %v\n%s", err, out)
+	}
+	if len(pols) != 3 || pols[0].Policy != "NoPM" || pols[1].Policy != "TPM" || pols[2].Policy != "DRPM" {
+		t.Fatalf("wrong policies: %+v", pols)
+	}
+	if pols[0].NormEnergy != 1 {
+		t.Errorf("NoPM norm_energy = %v, want 1", pols[0].NormEnergy)
+	}
+	if pols[1].SpinUps == 0 {
+		t.Error("TPM should spin up at least once on this trace")
+	}
+	for _, p := range pols {
+		if p.Idle.Periods == 0 || p.Idle.LongestIdleS < 40 {
+			t.Errorf("%s: idle telemetry %+v (the trace has a ~50 s gap)", p.Policy, p.Idle)
+		}
+	}
+}
+
+// TestReportStdout drives -report json: suite rows per policy plus stage
+// timings with the simulator's per-disk shard spans.
+func TestReportStdout(t *testing.T) {
+	resetFlags(t)
+	o := base()
+	o.policy, o.report, o.jobs = "all", "json", 2
+	out := withStdio(t, traceText, func() error { return run(o) })
+	var rep struct {
+		Suites []struct {
+			Rows []struct {
+				App        string  `json:"app"`
+				Version    string  `json:"version"`
+				NormEnergy float64 `json:"norm_energy"`
+			} `json:"rows"`
+		} `json:"suites"`
+		Stages []struct {
+			Name  string `json:"name"`
+			Count int    `json:"count"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad report JSON: %v\n%s", err, out)
+	}
+	if len(rep.Suites) != 1 || len(rep.Suites[0].Rows) != 3 {
+		t.Fatalf("wrong report shape: %+v", rep.Suites)
+	}
+	if r := rep.Suites[0].Rows[0]; r.App != "trace" || r.Version != "NoPM" || r.NormEnergy != 1 {
+		t.Errorf("first row = %+v", r)
+	}
+	stages := make(map[string]int)
+	for _, st := range rep.Stages {
+		stages[st.Name] = st.Count
+	}
+	if stages["decode"] != 1 || stages["prepare-trace"] != 1 || stages["sim"] != 3 || stages["disk-replay"] != 12 {
+		t.Errorf("stage counts = %v", stages)
+	}
+}
+
+// TestTraceOut checks the Chrome trace export parses and has span events.
+func TestTraceOut(t *testing.T) {
+	resetFlags(t)
+	path := t.TempDir() + "/trace.json"
+	o := base()
+	o.policy, o.traceOut = "all", path
+	withStdio(t, traceText, func() error { return run(o) })
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("bad trace JSON: %v", err)
+	}
+	spans := 0
+	names := make(map[string]bool)
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+			names[ev.Name] = true
+		}
+	}
+	if spans == 0 {
+		t.Fatal("no span events")
+	}
+	for _, want := range []string{"decode", "prepare-trace", "sim", "disk-replay"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"strings"
 
+	"diskreuse/internal/obs"
 	"diskreuse/internal/parser"
 	"diskreuse/internal/sema"
 )
@@ -53,11 +54,21 @@ type App struct {
 
 // Compile parses and analyzes the application's DRL source.
 func (a App) Compile() (*sema.Program, error) {
+	return a.CompileTraced(nil)
+}
+
+// CompileTraced is Compile with per-stage spans ("parse", "sema") recorded
+// under parent; a nil parent traces nothing.
+func (a App) CompileTraced(parent *obs.Span) (*sema.Program, error) {
+	sp := parent.Child("parse")
 	prog, err := parser.Parse(a.Source)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("apps: %s: %w", a.Name, err)
 	}
+	sp = parent.Child("sema")
 	p, err := sema.Analyze(prog, sema.Options{})
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("apps: %s: %w", a.Name, err)
 	}

@@ -15,6 +15,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"diskreuse/internal/obs"
 )
 
 // ForEach runs fn(ctx, i) for every i in [0, n) on a bounded worker pool of
@@ -29,6 +32,10 @@ import (
 // returns its error. A panic in any worker is re-raised on the calling
 // goroutine (with the same panic value) after the pool drains, so a
 // crashing fn behaves the same at every jobs count.
+//
+// When the context carries a worker-pool statistics sink (obs.WithPool),
+// ForEach records each task's duration and the pool's wall time × worker
+// count into it; without one the pool pays only a context lookup.
 func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -38,6 +45,17 @@ func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i in
 	}
 	if jobs > n {
 		jobs = n
+	}
+	if stats := obs.PoolFrom(ctx); stats != nil {
+		inner := fn
+		fn = func(ctx context.Context, i int) error {
+			t0 := time.Now()
+			err := inner(ctx, i)
+			stats.ObserveTask(time.Since(t0))
+			return err
+		}
+		poolStart := time.Now()
+		defer func() { stats.ObservePool(time.Since(poolStart), jobs) }()
 	}
 	if jobs == 1 {
 		for i := 0; i < n; i++ {

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"diskreuse/internal/obs"
 )
 
 func TestForEachVisitsEveryIndex(t *testing.T) {
@@ -194,5 +196,64 @@ func TestForEachChunkVisitsEveryIndex(t *testing.T) {
 				t.Errorf("jobs=%d: index %d visited %d times", jobs, i, got)
 			}
 		}
+	}
+}
+
+// TestForEachRecordsPoolStats: a PoolStats sink on the context receives
+// per-task and per-pool observations from both the serial and the parallel
+// paths; without a sink the pool pays only the context lookup.
+func TestForEachRecordsPoolStats(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		var stats obs.PoolStats
+		ctx := obs.WithPool(context.Background(), &stats)
+		err := ForEach(ctx, 6, jobs, func(ctx context.Context, i int) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := stats.Snapshot()
+		if s.Pools != 1 || s.Tasks != 6 {
+			t.Errorf("jobs=%d: pools/tasks = %d/%d, want 1/6", jobs, s.Pools, s.Tasks)
+		}
+		if s.TaskTimeMS < 5 {
+			t.Errorf("jobs=%d: task time = %v ms, want >= 5 (6 tasks × 1 ms)", jobs, s.TaskTimeMS)
+		}
+		if s.WorkerTimeMS < s.TaskTimeMS/float64(max(jobs, 1))-1 {
+			t.Errorf("jobs=%d: worker time %v ms too small for task time %v ms", jobs, s.WorkerTimeMS, s.TaskTimeMS)
+		}
+		if s.Occupancy <= 0 || s.Occupancy > 1.001 {
+			t.Errorf("jobs=%d: occupancy = %v", jobs, s.Occupancy)
+		}
+	}
+	// WithPool(nil) leaves the context untouched — no sink, no stats.
+	ctx := obs.WithPool(context.Background(), nil)
+	if obs.PoolFrom(ctx) != nil {
+		t.Error("WithPool(nil) must not install a sink")
+	}
+	if err := ForEach(ctx, 3, 2, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Tasks that fail still count: the sink sees every completed call.
+func TestForEachPoolStatsOnError(t *testing.T) {
+	var stats obs.PoolStats
+	ctx := obs.WithPool(context.Background(), &stats)
+	wantErr := errors.New("boom")
+	err := ForEach(ctx, 4, 1, func(ctx context.Context, i int) error {
+		if i == 1 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	s := stats.Snapshot()
+	// Serial path stops at the failure: tasks 0 and 1 observed.
+	if s.Tasks != 2 || s.Pools != 1 {
+		t.Errorf("pools/tasks = %d/%d, want 1/2", s.Pools, s.Tasks)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"diskreuse/internal/conc"
 	"diskreuse/internal/interp"
 	"diskreuse/internal/layout"
+	"diskreuse/internal/obs"
 	"diskreuse/internal/sema"
 )
 
@@ -58,6 +59,9 @@ type Options struct {
 	// attribution). 0 and 1 both run serially; values above 1 fan out on
 	// internal/conc. Every pass produces bit-identical results at any Jobs.
 	Jobs int
+	// Span, when non-nil, receives one child span per analysis pass
+	// ("space", "validate", "deps", "attribute-disks").
+	Span *obs.Span
 }
 
 func (o Options) jobs() int {
@@ -85,14 +89,21 @@ func NewCtx(ctx context.Context, prog *sema.Program, l *layout.Layout, opt Optio
 		}
 	}
 	jobs := opt.jobs()
+	sp := opt.Span.Child("space")
 	space, err := interp.BuildSpaceCtx(ctx, prog, jobs)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	if err := space.ValidateCtx(ctx, jobs); err != nil {
+	sp = opt.Span.Child("validate")
+	err = space.ValidateCtx(ctx, jobs)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
+	sp = opt.Span.Child("deps")
 	graph, err := space.BuildDepsCtx(ctx, jobs)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +113,10 @@ func NewCtx(ctx context.Context, prog *sema.Program, l *layout.Layout, opt Optio
 		Space:  space,
 		Graph:  graph,
 	}
-	if err := r.attributeDisks(ctx, jobs); err != nil {
+	sp = opt.Span.Child("attribute-disks")
+	err = r.attributeDisks(ctx, jobs)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return r, nil

@@ -14,6 +14,7 @@ import (
 	"diskreuse/internal/core"
 	"diskreuse/internal/disk"
 	"diskreuse/internal/layout"
+	"diskreuse/internal/obs"
 	"diskreuse/internal/par"
 	"diskreuse/internal/sema"
 	"diskreuse/internal/sim"
@@ -86,6 +87,16 @@ type Options struct {
 	// cells share only read-only memoized artifacts (including the
 	// prepared traces), and each writes its own result slot.
 	Jobs int
+	// Tracer, when non-nil, records hierarchical spans for every pipeline
+	// stage (parse, sema, space, validate, deps, attribute-disks,
+	// restructure, generate-trace, prepare-trace) and every simulation —
+	// including the simulator's per-disk shards — plus worker-pool
+	// occupancy. A shared Tracer is safe under any Jobs fan-out; nil pays
+	// only nil checks. The simulator event telemetry behind RunResult's
+	// idle-locality fields is always collected: it derives from the
+	// deterministic interval stream, so results stay bit-identical with or
+	// without a tracer.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) fill() {
@@ -129,6 +140,18 @@ type RunResult struct {
 	// DiskRuns counts the maximal same-disk spans in the schedule (per
 	// processor, summed); fewer runs = better clustering.
 	DiskRuns int
+	// Idle-locality telemetry, summed over the run's disks: how many
+	// request-free periods the disks saw and how long they were. The
+	// restructuring exists to concentrate idleness into fewer, longer
+	// periods, so these quantify the mechanism behind NormEnergy.
+	IdlePeriods int
+	TotalIdle   float64 // s
+	MeanIdle    float64 // s
+	LongestIdle float64 // s
+	// IdleHist is the aggregate log-2 histogram of idle-period lengths
+	// (bucket i covers the obs.IdleBucketLabel(i) range). A fixed-size
+	// array keeps RunResult comparable.
+	IdleHist [obs.IdleBucketCount]int
 }
 
 // AppResult collects all version results for one application.
@@ -312,19 +335,26 @@ type artifacts struct {
 // validation, dependence build, disk attribution) share the caller's Jobs
 // budget, so -jobs accelerates preparation as well as simulation.
 func prepareApp(ctx context.Context, a apps.App, opt Options) (*artifacts, error) {
-	p, err := a.Compile()
+	root := opt.Tracer.Start("prepare", "pipeline")
+	root.SetAttr("app", a.Name)
+	defer root.End()
+	p, err := a.CompileTraced(root)
 	if err != nil {
 		return nil, err
 	}
+	sp := root.Child("layout")
 	lay, err := layout.New(p, 0)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	r, err := core.NewCtx(ctx, p, lay, core.Options{Jobs: opt.Jobs})
+	r, err := core.NewCtx(ctx, p, lay, core.Options{Jobs: opt.Jobs, Span: root})
 	if err != nil {
 		return nil, err
 	}
+	sp = root.Child("restructure")
 	orig, restrS, restrM, err := prepare(r, opt.Procs)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", a.Name, err)
 	}
@@ -337,13 +367,19 @@ func prepareApp(ctx context.Context, a apps.App, opt Options) (*artifacts, error
 		if e == nil {
 			continue
 		}
-		if e.reqs, err = trace.Generate(r, e.phases, genCfg); err != nil {
+		sp = root.Child("generate-trace")
+		e.reqs, err = trace.Generate(r, e.phases, genCfg)
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", a.Name, err)
 		}
 		// Bucket once, replay many: the counting pass, disk attribution,
 		// and per-disk carve happen here instead of inside every one of
 		// the 5–7 version simulations that share this execution.
-		if e.prep, err = sim.PrepareTrace(e.reqs, lay.PageDisk, lay.NumDisks()); err != nil {
+		sp = root.Child("prepare-trace")
+		e.prep, err = sim.PrepareTrace(e.reqs, lay.PageDisk, lay.NumDisks())
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", a.Name, err)
 		}
 	}
@@ -374,7 +410,12 @@ func (art *artifacts) execOf(v Version) *execution {
 // returns its raw (unnormalized) measurement. It only reads art, so any
 // number of runVersion calls may run concurrently over the same artifacts.
 func (art *artifacts) runVersion(v Version, opt Options) (RunResult, error) {
+	root := opt.Tracer.Start("sim", "sim")
+	root.SetAttr("app", art.app.Name)
+	root.SetAttr("version", string(v))
+	defer root.End()
 	e := art.execOf(v)
+	tel := obs.NewSimTelemetry(art.lay.NumDisks())
 	cfg := sim.Config{
 		Model:        opt.Model,
 		NumDisks:     art.lay.NumDisks(),
@@ -385,6 +426,8 @@ func (art *artifacts) runVersion(v Version, opt Options) (RunResult, error) {
 		RAIDWidth:    opt.RAIDWidth,
 		Policy:       policyOf(v),
 		Jobs:         opt.Jobs,
+		Telemetry:    tel,
+		Span:         root,
 	}
 	if v == VPTPM {
 		cfg.Policy = sim.TPM
@@ -417,6 +460,12 @@ func (art *artifacts) runVersion(v Version, opt Options) (RunResult, error) {
 		rr.SpinUps += st.Meter.SpinUps
 		rr.SpeedShifts += st.Meter.SpeedShifts
 	}
+	idle := tel.IdleLocality()
+	rr.IdlePeriods = idle.Periods
+	rr.TotalIdle = idle.TotalIdleS
+	rr.MeanIdle = idle.MeanIdleS
+	rr.LongestIdle = idle.LongestIdleS
+	rr.IdleHist = tel.Histogram()
 	return rr, nil
 }
 
@@ -452,6 +501,7 @@ func RunApp(a apps.App, opt Options) (*AppResult, error) {
 // stops the remaining ones.
 func RunAppContext(ctx context.Context, a apps.App, opt Options) (*AppResult, error) {
 	opt.fill()
+	ctx = obs.WithPool(ctx, opt.Tracer.Pool())
 	art, err := prepareApp(ctx, a, opt)
 	if err != nil {
 		return nil, err
@@ -495,6 +545,7 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 // first error (or ctx cancellation) stops the remaining work.
 func RunSuiteContext(ctx context.Context, opt Options) (*SuiteResult, error) {
 	opt.fill()
+	ctx = obs.WithPool(ctx, opt.Tracer.Pool())
 	suite := apps.Suite(opt.Size)
 	versions := versionsOf(opt)
 

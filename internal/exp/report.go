@@ -10,6 +10,7 @@ import (
 	"text/tabwriter"
 
 	"diskreuse/internal/disk"
+	"diskreuse/internal/obs"
 	"diskreuse/internal/sema"
 )
 
@@ -187,6 +188,9 @@ type ResultJSON struct {
 	Requests        int     `json:"requests"`
 	SpinUps         int     `json:"spin_ups"`
 	SpeedShifts     int     `json:"speed_shifts"`
+	IdlePeriods     int     `json:"idle_periods,omitempty"`
+	MeanIdleS       float64 `json:"mean_idle_s,omitempty"`
+	LongestIdleS    float64 `json:"longest_idle_s,omitempty"`
 }
 
 // ToJSON converts a suite result to its machine-readable form.
@@ -213,6 +217,9 @@ func ToJSON(sr *SuiteResult) SuiteJSON {
 				Requests:        r.Requests,
 				SpinUps:         r.SpinUps,
 				SpeedShifts:     r.SpeedShifts,
+				IdlePeriods:     r.IdlePeriods,
+				MeanIdleS:       r.MeanIdle,
+				LongestIdleS:    r.LongestIdle,
 			})
 		}
 		out.Apps = append(out.Apps, aj)
@@ -241,7 +248,8 @@ func WriteJSON(w io.Writer, suites ...*SuiteResult) error {
 func WriteCSV(w io.Writer, sr *SuiteResult) error {
 	cw := csv.NewWriter(w)
 	header := []string{"app", "version", "procs", "energy_j", "norm_energy",
-		"io_time_s", "perf_degradation", "response_s", "requests", "spin_ups", "speed_shifts"}
+		"io_time_s", "perf_degradation", "response_s", "requests", "spin_ups", "speed_shifts",
+		"idle_periods", "mean_idle_s", "longest_idle_s"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -260,6 +268,9 @@ func WriteCSV(w io.Writer, sr *SuiteResult) error {
 				strconv.Itoa(r.Requests),
 				strconv.Itoa(r.SpinUps),
 				strconv.Itoa(r.SpeedShifts),
+				strconv.Itoa(r.IdlePeriods),
+				strconv.FormatFloat(r.MeanIdle, 'f', 6, 64),
+				strconv.FormatFloat(r.LongestIdle, 'f', 6, 64),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err
@@ -268,4 +279,50 @@ func WriteCSV(w io.Writer, sr *SuiteResult) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// BuildReport assembles the observability report for one or more suite
+// runs: the per-app × per-version energy/degradation/idle-locality rows,
+// plus — when tr is non-nil — the aggregated pipeline stage timings,
+// worker-pool occupancy, and counters recorded during the runs. The row
+// content is deterministic; only the timing fields vary run to run (zero
+// them with Report.ZeroTimings for golden comparisons).
+func BuildReport(tr *obs.Tracer, suites ...*SuiteResult) *obs.Report {
+	rep := &obs.Report{}
+	for _, sr := range suites {
+		if sr == nil {
+			continue
+		}
+		s := obs.SuiteReport{Procs: sr.Procs}
+		for i := range sr.Apps {
+			for _, r := range sr.Apps[i].Results {
+				s.Rows = append(s.Rows, obs.Row{
+					App:             r.App,
+					Version:         string(r.Version),
+					EnergyJ:         r.Energy,
+					NormEnergy:      r.NormEnergy,
+					IOTimeS:         r.IOTime,
+					PerfDegradation: r.PerfDegradation,
+					Requests:        r.Requests,
+					SpinUps:         r.SpinUps,
+					SpeedShifts:     r.SpeedShifts,
+					Idle: obs.IdleStats{
+						Periods:      r.IdlePeriods,
+						TotalIdleS:   r.TotalIdle,
+						MeanIdleS:    r.MeanIdle,
+						LongestIdleS: r.LongestIdle,
+					},
+					IdleHist: obs.TrimHist(r.IdleHist),
+				})
+			}
+		}
+		rep.Suites = append(rep.Suites, s)
+	}
+	if tr != nil {
+		rep.Stages = tr.Totals()
+		ps := tr.Pool().Snapshot()
+		rep.Pool = &ps
+		rep.Counters = tr.Counters()
+	}
+	return rep
 }

@@ -1,0 +1,24 @@
+package obs
+
+import "context"
+
+// poolKey carries a *PoolStats through a context into internal/conc, which
+// sits below this package's other consumers and therefore cannot take a
+// tracer parameter without widening its API.
+type poolKey struct{}
+
+// WithPool attaches a worker-pool statistics sink to the context.
+// Attaching nil returns ctx unchanged, so callers can thread
+// tracer.Pool() through unconditionally.
+func WithPool(ctx context.Context, p *PoolStats) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, poolKey{}, p)
+}
+
+// PoolFrom extracts the pool statistics sink from the context, or nil.
+func PoolFrom(ctx context.Context) *PoolStats {
+	p, _ := ctx.Value(poolKey{}).(*PoolStats)
+	return p
+}

@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// DiskState classifies one recorded interval of simulated disk activity.
+// The values mirror internal/sim's interval kinds; the simulator maps its
+// own enum onto this one explicitly so the two packages stay decoupled.
+type DiskState uint8
+
+// Disk states, in the simulator's emission vocabulary.
+const (
+	DiskBusy DiskState = iota
+	DiskIdle
+	DiskStandby
+	DiskTransition
+	numDiskStates
+)
+
+func (s DiskState) String() string {
+	switch s {
+	case DiskBusy:
+		return "busy"
+	case DiskIdle:
+		return "idle"
+	case DiskStandby:
+		return "standby"
+	case DiskTransition:
+		return "transition"
+	}
+	return fmt.Sprintf("DiskState(%d)", uint8(s))
+}
+
+// Idle-period histogram geometry: log-2 buckets over seconds. Bucket i
+// covers [2^(i+minIdleExp), 2^(i+minIdleExp+1)) seconds; the first and
+// last buckets absorb the tails. With minIdleExp = -10 the range spans
+// ~1 ms to ~36 h, bracketing everything the replayed traces produce.
+const (
+	minIdleExp = -10
+	// IdleBucketCount is the number of log-2 idle-period buckets.
+	IdleBucketCount = 28
+)
+
+// IdleBucket returns the histogram bucket of an idle period of d seconds.
+func IdleBucket(d float64) int {
+	if d <= 0 {
+		return 0
+	}
+	_, exp := math.Frexp(d) // d = frac * 2^exp, frac in [0.5, 1)
+	b := exp - 1 - minIdleExp
+	if b < 0 {
+		return 0
+	}
+	if b >= IdleBucketCount {
+		return IdleBucketCount - 1
+	}
+	return b
+}
+
+// IdleBucketLabel names a histogram bucket's half-open range in seconds.
+func IdleBucketLabel(i int) string {
+	lo, hi := i+minIdleExp, i+minIdleExp+1
+	switch {
+	case i <= 0:
+		return fmt.Sprintf("[0, 2^%d) s", hi)
+	case i >= IdleBucketCount-1:
+		return fmt.Sprintf("[2^%d, inf) s", lo)
+	default:
+		return fmt.Sprintf("[2^%d, 2^%d) s", lo, hi)
+	}
+}
+
+// IdleStats is the idle-locality summary: how many request-free periods a
+// disk (or a bank of disks) saw, their total and mean length, and the
+// longest one. The compiler restructuring of the paper's §5 exists to
+// lengthen exactly these periods — same total idleness concentrated into
+// fewer, longer runs — so MeanIdleS and LongestIdleS quantify the claim
+// directly: growing them past the TPM break-even (or the DRPM coast dwell)
+// is what converts idle time into energy savings.
+type IdleStats struct {
+	Periods      int     `json:"periods"`
+	TotalIdleS   float64 `json:"total_idle_s"`
+	MeanIdleS    float64 `json:"mean_idle_s"`
+	LongestIdleS float64 `json:"longest_idle_s"`
+}
+
+// DiskTelemetry accumulates one disk's event telemetry from its recorded
+// interval stream: time in each state, classified transition counts, and
+// the request-free (idle-period) histogram. Intervals must be observed in
+// increasing time order — the order the simulator's Record hook guarantees
+// per disk.
+type DiskTelemetry struct {
+	// TimeIn is seconds spent in each DiskState (indexed by DiskState).
+	TimeIn [numDiskStates]float64
+	// Transition counts, classified from the interval stream.
+	SpinUps, SpinDowns, SpeedShifts int
+	// IdleHist is the log-2 histogram of request-free period lengths.
+	IdleHist [IdleBucketCount]int
+	// Idle-locality accumulators over closed request-free periods.
+	IdlePeriods int
+	TotalIdle   float64
+	LongestIdle float64
+
+	// Run state machine: a request-free period is a maximal span of
+	// consecutive non-busy intervals between busy ones.
+	prev             DiskState
+	prevRPM          int
+	seen             bool
+	inRun            bool
+	runStart, runEnd float64
+}
+
+// observe folds one interval into the disk's telemetry.
+func (d *DiskTelemetry) observe(state DiskState, from, to float64, rpm int) {
+	if to < from {
+		to = from
+	}
+	if int(state) < len(d.TimeIn) {
+		d.TimeIn[state] += to - from
+	}
+	if state == DiskTransition {
+		switch {
+		case rpm == 0:
+			d.SpinDowns++
+		case d.seen && (d.prev == DiskStandby || (d.prev == DiskTransition && d.prevRPM == 0)):
+			// Coming out of standby (or straight off the spin-down that
+			// put the disk there): a TPM spin-up. Any other transition at
+			// a positive speed is a DRPM level shift.
+			d.SpinUps++
+		default:
+			d.SpeedShifts++
+		}
+	}
+	if state == DiskBusy {
+		d.closeRun()
+	} else {
+		if !d.inRun {
+			d.inRun = true
+			d.runStart = from
+		}
+		d.runEnd = to
+	}
+	d.prev, d.prevRPM, d.seen = state, rpm, true
+}
+
+// closeRun finishes the open request-free period, if any.
+func (d *DiskTelemetry) closeRun() {
+	if !d.inRun {
+		return
+	}
+	run := d.runEnd - d.runStart
+	d.inRun = false
+	d.IdlePeriods++
+	d.TotalIdle += run
+	if run > d.LongestIdle {
+		d.LongestIdle = run
+	}
+	d.IdleHist[IdleBucket(run)]++
+}
+
+// Idle returns the disk's idle-locality summary.
+func (d *DiskTelemetry) Idle() IdleStats {
+	st := IdleStats{Periods: d.IdlePeriods, TotalIdleS: d.TotalIdle, LongestIdleS: d.LongestIdle}
+	if st.Periods > 0 {
+		st.MeanIdleS = st.TotalIdleS / float64(st.Periods)
+	}
+	return st
+}
+
+// SimTelemetry collects per-disk event telemetry for one simulation run,
+// fed from the simulator's Record hook. State is strictly per disk, so
+// Observe calls for different disks may run concurrently (the sharded
+// open-loop replay observes each disk from its own worker); calls for one
+// disk must arrive in increasing time order, which the simulator
+// guarantees. A nil SimTelemetry is a valid no-op sink.
+type SimTelemetry struct {
+	Disks []DiskTelemetry
+}
+
+// NewSimTelemetry returns a collector for numDisks disks.
+func NewSimTelemetry(numDisks int) *SimTelemetry {
+	if numDisks < 0 {
+		numDisks = 0
+	}
+	return &SimTelemetry{Disks: make([]DiskTelemetry, numDisks)}
+}
+
+// NumDisks returns how many disks the collector was sized for.
+func (t *SimTelemetry) NumDisks() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.Disks)
+}
+
+// Observe folds one recorded interval into the per-disk telemetry.
+// Out-of-range disks are ignored (the simulator validates sizing up
+// front, so this only guards foreign callers).
+func (t *SimTelemetry) Observe(disk int, state DiskState, from, to float64, rpm int) {
+	if t == nil || disk < 0 || disk >= len(t.Disks) {
+		return
+	}
+	t.Disks[disk].observe(state, from, to, rpm)
+}
+
+// Finish closes any still-open request-free periods (the tail idleness
+// after each disk's last request). Idempotent; the simulator calls it
+// when a run completes.
+func (t *SimTelemetry) Finish() {
+	if t == nil {
+		return
+	}
+	for i := range t.Disks {
+		t.Disks[i].closeRun()
+	}
+}
+
+// IdleLocality aggregates the idle-locality summary across all disks.
+func (t *SimTelemetry) IdleLocality() IdleStats {
+	var st IdleStats
+	if t == nil {
+		return st
+	}
+	for i := range t.Disks {
+		d := &t.Disks[i]
+		st.Periods += d.IdlePeriods
+		st.TotalIdleS += d.TotalIdle
+		if d.LongestIdle > st.LongestIdleS {
+			st.LongestIdleS = d.LongestIdle
+		}
+	}
+	if st.Periods > 0 {
+		st.MeanIdleS = st.TotalIdleS / float64(st.Periods)
+	}
+	return st
+}
+
+// Histogram aggregates the idle-period histogram across all disks.
+func (t *SimTelemetry) Histogram() [IdleBucketCount]int {
+	var h [IdleBucketCount]int
+	if t == nil {
+		return h
+	}
+	for i := range t.Disks {
+		for b, n := range t.Disks[i].IdleHist {
+			h[b] += n
+		}
+	}
+	return h
+}
+
+// WriteText renders the per-disk telemetry and the aggregate idle-period
+// histogram as a human-readable table.
+func (t *SimTelemetry) WriteText(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "Disk\tBusy (s)\tIdle (s)\tStandby (s)\tTransition (s)\tSpinUps\tSpinDowns\tShifts\tIdle periods\tMean idle (s)\tLongest idle (s)")
+	for i := range t.Disks {
+		d := &t.Disks[i]
+		idle := d.Idle()
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%.3f\t%.3f\t%d\t%d\t%d\t%d\t%.3f\t%.3f\n",
+			i, d.TimeIn[DiskBusy], d.TimeIn[DiskIdle], d.TimeIn[DiskStandby], d.TimeIn[DiskTransition],
+			d.SpinUps, d.SpinDowns, d.SpeedShifts,
+			idle.Periods, idle.MeanIdleS, idle.LongestIdleS)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	hist := t.Histogram()
+	maxN := 0
+	for _, n := range hist {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "Idle-period histogram (all disks):"); err != nil {
+		return err
+	}
+	for b, n := range hist {
+		if n == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", 1+n*40/maxN)
+		if _, err := fmt.Fprintf(w, "  %-16s %6d %s\n", IdleBucketLabel(b), n, bar); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestIdleBucket(t *testing.T) {
+	cases := []struct {
+		d    float64
+		want int
+	}{
+		{0, 0}, {-1, 0}, // degenerate
+		{1e-9, 0},                             // below the first bucket's floor
+		{math.Exp2(minIdleExp) * 1.001, 0},    // just inside bucket 0
+		{0.5, 9}, {1, 10}, {1.5, 10}, {2, 11}, // 2^0 s lands in bucket -minIdleExp
+		{3600, 21},
+		{1e9, IdleBucketCount - 1}, // clamps into the open-ended tail
+	}
+	for _, c := range cases {
+		if got := IdleBucket(c.d); got != c.want {
+			t.Errorf("IdleBucket(%g) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Bucket boundaries are half-open: 2^k opens bucket k-minIdleExp.
+	for k := -5; k < 10; k++ {
+		d := math.Exp2(float64(k))
+		if IdleBucket(d) != IdleBucket(d*1.5) {
+			t.Errorf("2^%d and 1.5*2^%d should share a bucket", k, k)
+		}
+		if IdleBucket(d) == IdleBucket(d*0.99) {
+			t.Errorf("2^%d must open a new bucket over %g", k, d*0.99)
+		}
+	}
+	if got := IdleBucketLabel(0); !strings.Contains(got, "[0,") {
+		t.Errorf("label(0) = %q", got)
+	}
+	if got := IdleBucketLabel(IdleBucketCount - 1); !strings.Contains(got, "inf") {
+		t.Errorf("label(last) = %q", got)
+	}
+	if got := IdleBucketLabel(10); got != "[2^0, 2^1) s" {
+		t.Errorf("label(10) = %q", got)
+	}
+}
+
+// TestTransitionClassification walks a TPM-shaped interval stream through
+// one disk: spin-down (transition at rpm 0), standby, spin-up (transition
+// after standby), and a DRPM shift (transition between active speeds).
+func TestTransitionClassification(t *testing.T) {
+	tel := NewSimTelemetry(1)
+	tel.Observe(0, DiskBusy, 0, 1, 15000)
+	tel.Observe(0, DiskIdle, 1, 3, 15000)
+	tel.Observe(0, DiskTransition, 3, 4.5, 0) // spin-down
+	tel.Observe(0, DiskStandby, 4.5, 50, 0)
+	tel.Observe(0, DiskTransition, 50, 60.9, 15000) // spin-up
+	tel.Observe(0, DiskBusy, 60.9, 61, 15000)
+	tel.Observe(0, DiskIdle, 61, 62, 15000)
+	tel.Observe(0, DiskTransition, 62, 62.5, 9000) // DRPM lowering: a shift
+	tel.Observe(0, DiskIdle, 62.5, 70, 9000)
+	tel.Observe(0, DiskTransition, 70, 70.5, 15000) // DRPM raise: a shift
+	tel.Observe(0, DiskBusy, 70.5, 71, 15000)
+	tel.Finish()
+
+	d := &tel.Disks[0]
+	if d.SpinDowns != 1 || d.SpinUps != 1 || d.SpeedShifts != 2 {
+		t.Errorf("transitions = down:%d up:%d shift:%d, want 1/1/2", d.SpinDowns, d.SpinUps, d.SpeedShifts)
+	}
+	if got := d.TimeIn[DiskBusy]; math.Abs(got-1.6) > 1e-9 {
+		t.Errorf("busy time = %g, want 1.6", got)
+	}
+	if got := d.TimeIn[DiskStandby]; math.Abs(got-45.5) > 1e-9 {
+		t.Errorf("standby time = %g, want 45.5", got)
+	}
+	// Request-free runs: [1,60.9] (idle+down+standby+up), [61,70.5], none open.
+	idle := tel.IdleLocality()
+	if idle.Periods != 2 {
+		t.Fatalf("idle periods = %d, want 2", idle.Periods)
+	}
+	if math.Abs(idle.LongestIdleS-59.9) > 1e-9 {
+		t.Errorf("longest idle = %g, want 59.9", idle.LongestIdleS)
+	}
+	if math.Abs(idle.TotalIdleS-(59.9+9.5)) > 1e-9 {
+		t.Errorf("total idle = %g", idle.TotalIdleS)
+	}
+	if math.Abs(idle.MeanIdleS-idle.TotalIdleS/2) > 1e-9 {
+		t.Errorf("mean idle = %g", idle.MeanIdleS)
+	}
+}
+
+// A spin-up may also follow the spin-down transition directly (request
+// arrives mid-spin-down, no standby interval in between).
+func TestSpinUpAfterSpinDownTransition(t *testing.T) {
+	tel := NewSimTelemetry(1)
+	tel.Observe(0, DiskIdle, 0, 10, 15000)
+	tel.Observe(0, DiskTransition, 10, 11, 0)     // spin-down begins
+	tel.Observe(0, DiskTransition, 11, 21, 15000) // immediately reversed
+	tel.Observe(0, DiskBusy, 21, 22, 15000)
+	tel.Finish()
+	d := &tel.Disks[0]
+	if d.SpinDowns != 1 || d.SpinUps != 1 || d.SpeedShifts != 0 {
+		t.Errorf("transitions = down:%d up:%d shift:%d, want 1/1/0", d.SpinDowns, d.SpinUps, d.SpeedShifts)
+	}
+}
+
+// TestFinishIdempotent: Finish closes the tail run exactly once.
+func TestFinishIdempotent(t *testing.T) {
+	tel := NewSimTelemetry(1)
+	tel.Observe(0, DiskBusy, 0, 1, 15000)
+	tel.Observe(0, DiskIdle, 1, 5, 15000)
+	tel.Finish()
+	tel.Finish()
+	idle := tel.IdleLocality()
+	if idle.Periods != 1 || idle.TotalIdleS != 4 {
+		t.Errorf("idle after double Finish = %+v", idle)
+	}
+	h := tel.Histogram()
+	if h[IdleBucket(4)] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != 1 {
+		t.Errorf("histogram holds %d periods, want 1", total)
+	}
+}
+
+// A disk that never sees a request contributes nothing: idle periods are
+// request-free spans BETWEEN activity, and a wholly silent disk has no
+// bracketing busy interval (Observe is never called for it).
+func TestAggregationAcrossDisks(t *testing.T) {
+	tel := NewSimTelemetry(3)
+	tel.Observe(0, DiskBusy, 0, 1, 15000)
+	tel.Observe(0, DiskIdle, 1, 2, 15000)
+	tel.Observe(1, DiskBusy, 0, 0.5, 15000)
+	tel.Observe(1, DiskIdle, 0.5, 8.5, 15000)
+	tel.Finish()
+	if tel.NumDisks() != 3 {
+		t.Fatalf("NumDisks = %d", tel.NumDisks())
+	}
+	idle := tel.IdleLocality()
+	if idle.Periods != 2 || idle.LongestIdleS != 8 || idle.TotalIdleS != 9 {
+		t.Errorf("aggregate idle = %+v", idle)
+	}
+	// Out-of-range disks are ignored, not fatal.
+	tel.Observe(7, DiskBusy, 0, 1, 0)
+	tel.Observe(-1, DiskBusy, 0, 1, 0)
+	if got := tel.IdleLocality(); got != idle {
+		t.Errorf("out-of-range Observe changed telemetry: %+v", got)
+	}
+
+	var sb strings.Builder
+	if err := tel.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Disk", "Idle periods", "Idle-period histogram", "[2^3, 2^4) s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiskStateString(t *testing.T) {
+	for s, want := range map[DiskState]string{
+		DiskBusy: "busy", DiskIdle: "idle", DiskStandby: "standby",
+		DiskTransition: "transition", DiskState(99): "DiskState(99)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", s, got, want)
+		}
+	}
+}

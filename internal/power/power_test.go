@@ -136,3 +136,33 @@ func TestQuickIdlePowerBounds(t *testing.T) {
 		}
 	}
 }
+
+// TestBreakdown: the per-state decomposition mirrors the meter exactly and
+// its energy fractions sum to one (or stay zero on an empty meter).
+func TestBreakdown(t *testing.T) {
+	m := disk.Ultrastar36Z15()
+	e := NewMeter(m)
+	if b := e.Breakdown(); b != (Breakdown{}) {
+		t.Errorf("empty meter breakdown = %+v, want all zeros", b)
+	}
+	e.Active(2, m.RPMMax)
+	e.Idle(10, m.RPMMax)
+	e.SpinDown()
+	e.Standby(30)
+	e.SpinUp()
+	b := e.Breakdown()
+	if b.ActiveTimeS != e.ActiveTime || b.IdleTimeS != e.IdleTime ||
+		b.StandbyTimeS != e.StandbyTime || b.TransitionTimeS != e.TransitionTime {
+		t.Errorf("times drifted: %+v vs %+v", b, e)
+	}
+	if b.ActiveEnergyJ != e.ActiveEnergy || b.TransitionEnergyJ != e.TransitionEnergy {
+		t.Errorf("energies drifted: %+v", b)
+	}
+	sum := b.FracActive + b.FracIdle + b.FracStandby + b.FracTransition
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("fractions sum to %v, want 1", sum)
+	}
+	if b.FracStandby <= 0 || b.FracStandby >= 1 {
+		t.Errorf("FracStandby = %v", b.FracStandby)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"testing"
 
+	"diskreuse/internal/obs"
 	"diskreuse/internal/trace"
 )
 
@@ -100,4 +101,32 @@ func BenchmarkSimRun(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTracerOverhead guards the observability bargain: with no
+// telemetry sink installed the replay must run at full speed (the "off"
+// case is the baseline BenchmarkSimRun path and must stay within ~2% of
+// it), and the "on" case bounds what a live SimTelemetry costs.
+func BenchmarkTracerOverhead(b *testing.B) {
+	const nReq, nDisks = 1 << 16, 16
+	reqs, diskOf := benchReplayTrace(nReq, nDisks)
+	pt, err := PrepareTrace(reqs, diskOf, nDisks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, tel bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			c := cfg(TPM, nDisks)
+			if tel {
+				c.Telemetry = obs.NewSimTelemetry(nDisks)
+			}
+			if _, err := RunPrepared(pt, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(nReq*b.N)/b.Elapsed().Seconds(), "reqs/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }

@@ -20,9 +20,11 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"strconv"
 
 	"diskreuse/internal/conc"
 	"diskreuse/internal/disk"
+	"diskreuse/internal/obs"
 	"diskreuse/internal/power"
 	"diskreuse/internal/trace"
 )
@@ -87,6 +89,20 @@ type Config struct {
 	// the simulation accounts it (used by the timeline visualization).
 	// Intervals for one disk are emitted in increasing time order.
 	Record func(iv Interval)
+
+	// Telemetry, when non-nil, accumulates per-disk event telemetry (time
+	// in state, spin-up/down and speed-shift counts, idle-period
+	// histograms) from the same interval stream Record sees. It must be
+	// sized for the run's disk count. Unlike Record, telemetry is fed
+	// directly from the sharded per-disk replays — per-disk state is
+	// disjoint, so no buffering is needed and the accumulated telemetry is
+	// identical at every Jobs value.
+	Telemetry *obs.SimTelemetry
+
+	// Span, when non-nil, receives one "disk-replay" child span per disk
+	// shard of the open-loop replay (or one "closed-replay" child for the
+	// closed-loop model), so a trace export shows the simulator's fan-out.
+	Span *obs.Span
 
 	// RAIDWidth is the number of physical disks behind each I/O node —
 	// the RAID-level striping of Fig. 1, which is hidden from the compiler
@@ -259,7 +275,7 @@ func (h streamHeap) Less(i, j int) bool {
 	return h[i].proc < h[j].proc
 }
 func (h streamHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *streamHeap) Push(x any)        { *h = append(*h, x.(*procStream)) }
+func (h *streamHeap) Push(x any)   { *h = append(*h, x.(*procStream)) }
 func (h *streamHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -294,50 +310,9 @@ func Run(reqs []trace.Request, diskOf func(block int64) (int, error), cfg Config
 // value must match it. RunPrepared only reads pt, so concurrent calls may
 // share one PreparedTrace.
 func RunPrepared(pt *PreparedTrace, cfg Config) (*Result, error) {
-	if err := cfg.Model.Validate(); err != nil {
+	cfg, err := cfg.normalize(pt)
+	if err != nil {
 		return nil, err
-	}
-	if cfg.NumDisks == 0 {
-		cfg.NumDisks = pt.numDisks
-	}
-	if cfg.NumDisks != pt.numDisks {
-		return nil, fmt.Errorf("sim: Config.NumDisks %d does not match the prepared trace's %d disks", cfg.NumDisks, pt.numDisks)
-	}
-	if cfg.Jobs < 0 {
-		return nil, fmt.Errorf("sim: Jobs %d must be >= 0 (0 selects GOMAXPROCS, 1 forces the serial path)", cfg.Jobs)
-	}
-	if cfg.RAIDWidth < 0 {
-		return nil, fmt.Errorf("sim: RAIDWidth %d must be >= 0 (0 or 1 models one disk per I/O node)", cfg.RAIDWidth)
-	}
-	if cfg.AsyncDepth < 0 {
-		return nil, fmt.Errorf("sim: AsyncDepth %d must be >= 0 (0 selects the default depth %d)", cfg.AsyncDepth, DefaultAsyncDepth)
-	}
-	if cfg.TPMThreshold <= 0 {
-		cfg.TPMThreshold = cfg.Model.BreakEven
-	}
-	if cfg.DRPMWindow <= 0 {
-		cfg.DRPMWindow = 100
-	}
-	if cfg.DRPMRaise <= 0 {
-		cfg.DRPMRaise = DefaultDRPMRaise
-	}
-	if cfg.DRPMLower == 0 {
-		cfg.DRPMLower = DefaultDRPMLower
-	}
-	if cfg.DRPMLower > 0 && cfg.DRPMLower >= cfg.DRPMRaise {
-		return nil, fmt.Errorf("sim: DRPMLower %v must be below DRPMRaise %v", cfg.DRPMLower, cfg.DRPMRaise)
-	}
-	if cfg.DRPMDwell <= 0 {
-		cfg.DRPMDwell = DefaultDRPMDwell
-	}
-	if cfg.ThinkEstimate <= 0 {
-		cfg.ThinkEstimate = cfg.Model.FullSpeedService(4096)
-	}
-	if cfg.AsyncDepth <= 0 {
-		cfg.AsyncDepth = DefaultAsyncDepth
-	}
-	if cfg.RAIDWidth <= 0 {
-		cfg.RAIDWidth = 1
 	}
 
 	res := &Result{
@@ -363,13 +338,12 @@ func RunPrepared(pt *PreparedTrace, cfg Config) (*Result, error) {
 		states[d].id = d
 	}
 	for _, h := range cfg.Hints {
-		if h.Disk < 0 || h.Disk >= cfg.NumDisks {
-			return nil, fmt.Errorf("sim: hint for disk %d outside 0..%d", h.Disk, cfg.NumDisks-1)
-		}
 		states[h.Disk].hints = append(states[h.Disk].hints, h.Time)
 	}
 	if cfg.ClosedLoop {
+		sp := cfg.Span.Child("closed-replay")
 		runClosedLoop(pt, cfg, states, res)
+		sp.End()
 	} else {
 		if err := runOpenLoop(pt, cfg, states, res); err != nil {
 			return nil, err
@@ -384,7 +358,99 @@ func RunPrepared(pt *PreparedTrace, cfg Config) (*Result, error) {
 		res.Energy += st.Meter.Total()
 		res.IOTime += st.BusyTime
 	}
+	// Close the still-open request-free tail periods.
+	cfg.Telemetry.Finish()
 	return res, nil
+}
+
+// normalize validates the configuration against the prepared trace and
+// fills defaults, returning the resolved copy. Every Config field is
+// checked here, so a bad value surfaces as a clear error from RunPrepared
+// instead of a panic or silent misbehavior deep inside the replay.
+func (cfg Config) normalize(pt *PreparedTrace) (Config, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return cfg, err
+	}
+	if cfg.NumDisks < 0 {
+		return cfg, fmt.Errorf("sim: NumDisks %d must be >= 0 (0 adopts the prepared trace's disk count)", cfg.NumDisks)
+	}
+	if cfg.NumDisks == 0 {
+		cfg.NumDisks = pt.numDisks
+	}
+	if cfg.NumDisks != pt.numDisks {
+		return cfg, fmt.Errorf("sim: Config.NumDisks %d does not match the prepared trace's %d disks", cfg.NumDisks, pt.numDisks)
+	}
+	if cfg.Jobs < 0 {
+		return cfg, fmt.Errorf("sim: Jobs %d must be >= 0 (0 selects GOMAXPROCS, 1 forces the serial path)", cfg.Jobs)
+	}
+	if cfg.RAIDWidth < 0 {
+		return cfg, fmt.Errorf("sim: RAIDWidth %d must be >= 0 (0 or 1 models one disk per I/O node)", cfg.RAIDWidth)
+	}
+	if cfg.AsyncDepth < 0 {
+		return cfg, fmt.Errorf("sim: AsyncDepth %d must be >= 0 (0 selects the default depth %d)", cfg.AsyncDepth, DefaultAsyncDepth)
+	}
+	if cfg.TPMThreshold < 0 {
+		return cfg, fmt.Errorf("sim: TPMThreshold %v must be >= 0 (0 selects the model's break-even time)", cfg.TPMThreshold)
+	}
+	if cfg.DRPMWindow < 0 {
+		return cfg, fmt.Errorf("sim: DRPMWindow %d must be >= 0 (0 selects the default window of 100 requests)", cfg.DRPMWindow)
+	}
+	if cfg.DRPMRaise < 0 {
+		return cfg, fmt.Errorf("sim: DRPMRaise %v must be >= 0 (0 selects the default %v)", cfg.DRPMRaise, DefaultDRPMRaise)
+	}
+	if cfg.DRPMDwell < 0 {
+		return cfg, fmt.Errorf("sim: DRPMDwell %v must be >= 0 (0 selects the default %v)", cfg.DRPMDwell, DefaultDRPMDwell)
+	}
+	if cfg.ThinkEstimate < 0 {
+		return cfg, fmt.Errorf("sim: ThinkEstimate %v must be >= 0 (0 selects the full-speed service time of a 4-KiB page)", cfg.ThinkEstimate)
+	}
+	if cfg.Telemetry != nil && cfg.Telemetry.NumDisks() != cfg.NumDisks {
+		return cfg, fmt.Errorf("sim: Telemetry sized for %d disks but the run has %d (size it with obs.NewSimTelemetry(NumDisks))", cfg.Telemetry.NumDisks(), cfg.NumDisks)
+	}
+	// advanceGap consumes each disk's hints with a forward-only cursor, so
+	// out-of-order hints would be silently dropped — reject them instead.
+	if len(cfg.Hints) > 0 {
+		last := make([]float64, cfg.NumDisks)
+		seen := make([]bool, cfg.NumDisks)
+		for _, h := range cfg.Hints {
+			if h.Disk < 0 || h.Disk >= cfg.NumDisks {
+				return cfg, fmt.Errorf("sim: hint for disk %d outside 0..%d", h.Disk, cfg.NumDisks-1)
+			}
+			if seen[h.Disk] && h.Time < last[h.Disk] {
+				return cfg, fmt.Errorf("sim: hints for disk %d must be in nondecreasing time order (%v after %v)", h.Disk, h.Time, last[h.Disk])
+			}
+			last[h.Disk], seen[h.Disk] = h.Time, true
+		}
+	}
+
+	if cfg.TPMThreshold == 0 {
+		cfg.TPMThreshold = cfg.Model.BreakEven
+	}
+	if cfg.DRPMWindow == 0 {
+		cfg.DRPMWindow = 100
+	}
+	if cfg.DRPMRaise == 0 {
+		cfg.DRPMRaise = DefaultDRPMRaise
+	}
+	if cfg.DRPMLower == 0 {
+		cfg.DRPMLower = DefaultDRPMLower
+	}
+	if cfg.DRPMLower > 0 && cfg.DRPMLower >= cfg.DRPMRaise {
+		return cfg, fmt.Errorf("sim: DRPMLower %v must be below DRPMRaise %v", cfg.DRPMLower, cfg.DRPMRaise)
+	}
+	if cfg.DRPMDwell == 0 {
+		cfg.DRPMDwell = DefaultDRPMDwell
+	}
+	if cfg.ThinkEstimate == 0 {
+		cfg.ThinkEstimate = cfg.Model.FullSpeedService(4096)
+	}
+	if cfg.AsyncDepth == 0 {
+		cfg.AsyncDepth = DefaultAsyncDepth
+	}
+	if cfg.RAIDWidth == 0 {
+		cfg.RAIDWidth = 1
+	}
+	return cfg, nil
 }
 
 // minParallelRequests is the auto-mode (Jobs 0) cutoff below which the
@@ -421,6 +487,10 @@ func runOpenLoop(pt *PreparedTrace, cfg Config, states []*diskSim, res *Result) 
 		jobs = 1
 	}
 	err := conc.ForEach(context.Background(), pt.numDisks, jobs, func(_ context.Context, d int) error {
+		sp := cfg.Span.Child("disk-replay")
+		sp.SetAttr("disk", strconv.Itoa(d))
+		sp.SetAttr("requests", strconv.Itoa(len(pt.perDisk[d])))
+		defer sp.End()
 		ds := states[d]
 		if record != nil {
 			// Buffer this disk's intervals; the reducer replays the
@@ -538,6 +608,7 @@ func runClosedLoop(pt *PreparedTrace, cfg Config, states []*diskSim, res *Result
 // diskSim simulates one disk.
 type diskSim struct {
 	cfg   Config
+	tel   *obs.SimTelemetry // telemetry sink; nil when disabled
 	m     disk.Model
 	clock float64 // completion time of the last serviced request
 
@@ -562,6 +633,7 @@ type diskSim struct {
 func newDiskSim(cfg Config) *diskSim {
 	return &diskSim{
 		cfg:    cfg,
+		tel:    cfg.Telemetry,
 		m:      cfg.Model,
 		rpm:    cfg.Model.RPMMax,
 		target: cfg.Model.RPMMax,
@@ -579,11 +651,38 @@ func (ds *diskSim) syncSubs() {
 	}
 }
 
+// diskStateOf maps the simulator's interval kinds onto the observability
+// layer's disk states. The enums are kept separate (obs must not import
+// sim) and mapped explicitly so a change in either is a compile/test error
+// here, not a silent misclassification.
+func diskStateOf(k StateKind) obs.DiskState {
+	switch k {
+	case StateBusy:
+		return obs.DiskBusy
+	case StateIdle:
+		return obs.DiskIdle
+	case StateStandby:
+		return obs.DiskStandby
+	case StateTransition:
+		return obs.DiskTransition
+	}
+	panic(fmt.Sprintf("sim: unmapped state kind %d", int(k)))
+}
+
 // The charge helpers account a state span in the energy meter and, when a
-// recorder is configured, emit the corresponding timeline interval.
+// recorder or telemetry sink is configured, emit the corresponding
+// interval. Telemetry is fed directly — even from sharded replays, since
+// its state is per disk — while Record may be swapped for a per-disk
+// buffer by the parallel open-loop path.
 
 func (ds *diskSim) emit(kind StateKind, from, to float64, rpm int) {
-	if ds.cfg.Record != nil && to > from {
+	if to <= from {
+		return
+	}
+	if ds.tel != nil {
+		ds.tel.Observe(ds.id, diskStateOf(kind), from, to, rpm)
+	}
+	if ds.cfg.Record != nil {
 		ds.cfg.Record(Interval{Disk: ds.id, From: from, To: to, Kind: kind, RPM: rpm})
 	}
 }
