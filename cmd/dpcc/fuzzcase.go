@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"diskreuse/internal/drlgen"
+	"diskreuse/internal/invariant"
+	"diskreuse/internal/sim"
+)
+
+// runFuzzCase replays a fuzzer finding (or a bare generator seed) as a
+// human-readable repro: it regenerates the DRL program the fuzz input maps
+// to, prints it, and runs the full invariant.Check over it, exiting
+// non-zero on any violation. This turns a `testdata/fuzz/FuzzPipeline/...`
+// corpus file into something a developer can stare at and iterate on
+// without going back through `go test -run`.
+func runFuzzCase(o options, out io.Writer) error {
+	var c drlgen.Case
+	if o.fuzzCase != "" {
+		raw, err := os.ReadFile(o.fuzzCase)
+		if err != nil {
+			return err
+		}
+		data, err := corpusBytes(raw)
+		if err != nil {
+			return fmt.Errorf("%s: %w", o.fuzzCase, err)
+		}
+		c = drlgen.FromBytes(data, invariant.PipelineFuzzConfig)
+		fmt.Fprintf(out, "# replaying %s (%d input bytes)\n", o.fuzzCase, len(data))
+	} else {
+		seed, err := strconv.ParseInt(o.fuzzSeed, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad -fuzz-seed %q: %w", o.fuzzSeed, err)
+		}
+		c = drlgen.Generate(seed, drlgen.Config{})
+		fmt.Fprintf(out, "# replaying generator seed %d\n", seed)
+	}
+	fmt.Fprintln(out, c.Source)
+
+	rep, err := invariant.Check(c.Source, invariant.Options{})
+	if err != nil {
+		return fmt.Errorf("invariant violated: %w", err)
+	}
+	fmt.Fprintf(out, "all invariants hold: %d iterations, %d dependence edges, %d disks, %d requests\n",
+		rep.Iterations, rep.Edges, rep.Disks, rep.Requests)
+	fmt.Fprintf(out, "energy: Base %.3f J, TPM %.3f J, DRPM %.3f J (original-order Base %.3f J)\n",
+		rep.Energy[sim.NoPM], rep.Energy[sim.TPM], rep.Energy[sim.DRPM], rep.BaseEnergyOriginal)
+	if n := rep.SpinUps + rep.SpinDowns + rep.SpeedShifts; n > 0 {
+		fmt.Fprintf(out, "transitions: %d spin-ups, %d spin-downs, %d speed shifts\n",
+			rep.SpinUps, rep.SpinDowns, rep.SpeedShifts)
+	}
+	return nil
+}
+
+// corpusBytes extracts the []byte argument from a Go fuzz corpus file
+// ("go test fuzz v1" header followed by one encoded value per line). Files
+// without the header are taken as raw generator input bytes.
+func corpusBytes(raw []byte) ([]byte, error) {
+	lines := strings.Split(string(raw), "\n")
+	if strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		return raw, nil
+	}
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		var quoted string
+		switch {
+		case strings.HasPrefix(line, "[]byte(") && strings.HasSuffix(line, ")"):
+			quoted = line[len("[]byte(") : len(line)-1]
+		case strings.HasPrefix(line, "string(") && strings.HasSuffix(line, ")"):
+			quoted = line[len("string(") : len(line)-1]
+		default:
+			continue
+		}
+		s, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("bad corpus value %q: %w", line, err)
+		}
+		return []byte(s), nil
+	}
+	return nil, fmt.Errorf("corpus file has no []byte or string value")
+}

@@ -8,6 +8,8 @@
 //	dpcc [-code] [-stats] [-deps] [-procs N] [-jobs N] [file.drl]
 //	dpcc -trace-out t.json file.drl    # Chrome trace of the analysis passes
 //	dpcc -report text file.drl         # stage-timing report (text, json, csv)
+//	dpcc -fuzz-case corpusfile         # replay a FuzzPipeline corpus entry
+//	dpcc -fuzz-seed 42                 # replay a drlgen seed through the checker
 //
 // With no file the program is read from standard input. When stdout
 // carries a machine-readable report (-report json/csv), the compiler's
@@ -40,6 +42,11 @@ type options struct {
 	report                 string
 	traceOut               string
 	cpuProfile, memProfile string
+	// fuzzCase replays a fuzz corpus file (or raw generator bytes) through
+	// the invariant checker instead of compiling a source file; fuzzSeed
+	// (when non-empty, a decimal seed) does the same from a drlgen seed.
+	fuzzCase string
+	fuzzSeed string
 	// srcPath is the positional DRL file; empty reads stdin.
 	srcPath string
 }
@@ -55,6 +62,8 @@ func main() {
 	flag.StringVar(&o.traceOut, "trace-out", "", "write analysis spans as Chrome trace_event JSON to this file (load in Perfetto)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
+	flag.StringVar(&o.fuzzCase, "fuzz-case", "", "replay a FuzzPipeline corpus file (or raw bytes) as a human-readable invariant repro")
+	flag.StringVar(&o.fuzzSeed, "fuzz-seed", "", "replay a drlgen seed through the invariant checker")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		o.srcPath = flag.Arg(0)
@@ -79,6 +88,9 @@ func run(o options) (err error) {
 	out := io.Writer(os.Stdout)
 	if o.report == "json" || o.report == "csv" {
 		out = os.Stderr
+	}
+	if o.fuzzCase != "" || o.fuzzSeed != "" {
+		return runFuzzCase(o, out)
 	}
 	var tr *obs.Tracer
 	if o.traceOut != "" || o.report != "" {

@@ -1,0 +1,199 @@
+package affine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"diskreuse/internal/affine"
+)
+
+// Property-style tests: every algebraic operation on Expr/Vector is checked
+// against a naive reference evaluation at many random points. The algebra
+// (maps with dropped zero entries, trimmed VecExpr coefficients) has enough
+// representation freedom that pointwise evaluation — not structural
+// comparison — is the ground truth.
+
+var propVars = []string{"i", "j", "k", "N"}
+
+func randExpr(rng *rand.Rand) affine.Expr {
+	e := affine.Constant(int64(rng.Intn(41) - 20))
+	for _, v := range propVars {
+		if rng.Intn(2) == 0 {
+			e = e.Add(affine.Term(v, int64(rng.Intn(11)-5)))
+		}
+	}
+	return e
+}
+
+func randEnv(rng *rand.Rand) map[string]int64 {
+	env := make(map[string]int64, len(propVars))
+	for _, v := range propVars {
+		env[v] = int64(rng.Intn(201) - 100)
+	}
+	return env
+}
+
+func evalAt(t *testing.T, e affine.Expr, env map[string]int64) int64 {
+	t.Helper()
+	x, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("eval %q: %v", e, err)
+	}
+	return x
+}
+
+func TestExprOpsAgreeWithPointwiseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		a, b := randExpr(rng), randExpr(rng)
+		k := int64(rng.Intn(9) - 4)
+		c := int64(rng.Intn(21) - 10)
+		env := randEnv(rng)
+		av, bv := evalAt(t, a, env), evalAt(t, b, env)
+
+		if got := evalAt(t, a.Add(b), env); got != av+bv {
+			t.Fatalf("(%v)+(%v) at %v = %d, want %d", a, b, env, got, av+bv)
+		}
+		if got := evalAt(t, a.Sub(b), env); got != av-bv {
+			t.Fatalf("(%v)-(%v) at %v = %d, want %d", a, b, env, got, av-bv)
+		}
+		if got := evalAt(t, a.Neg(), env); got != -av {
+			t.Fatalf("-(%v) at %v = %d, want %d", a, env, got, -av)
+		}
+		if got := evalAt(t, a.Scale(k), env); got != k*av {
+			t.Fatalf("%d*(%v) at %v = %d, want %d", k, a, env, got, k*av)
+		}
+		if got := evalAt(t, a.AddConst(c), env); got != av+c {
+			t.Fatalf("(%v)+%d at %v = %d, want %d", a, c, env, got, av+c)
+		}
+		// Subst(v, b) then eval == eval with env[v] overridden by b's value.
+		v := propVars[rng.Intn(len(propVars))]
+		env2 := make(map[string]int64, len(env))
+		for kk, vv := range env {
+			env2[kk] = vv
+		}
+		env2[v] = bv
+		if got, want := evalAt(t, a.Subst(v, b), env), evalAt(t, a, env2); got != want {
+			t.Fatalf("(%v)[%s:=%v] at %v = %d, want %d", a, v, b, env, got, want)
+		}
+	}
+}
+
+func TestExprAlgebraicIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		a, b := randExpr(rng), randExpr(rng)
+		if !a.Add(b).Equal(b.Add(a)) {
+			t.Fatalf("addition not commutative: %v vs %v", a, b)
+		}
+		if !a.Sub(a).IsZero() {
+			t.Fatalf("(%v) - itself is %v, want 0", a, a.Sub(a))
+		}
+		if !a.Clone().Equal(a) {
+			t.Fatalf("clone of %v not Equal", a)
+		}
+		if !a.Scale(0).IsZero() {
+			t.Fatalf("0*(%v) = %v, want 0", a, a.Scale(0))
+		}
+		// String is canonical: equal expressions print identically.
+		if a.String() != a.Clone().String() {
+			t.Fatalf("String not deterministic for %v", a)
+		}
+	}
+}
+
+func TestBindEvalVecMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		e := randExpr(rng)
+		env := randEnv(rng)
+		ve, err := e.Bind(propVars)
+		if err != nil {
+			t.Fatalf("bind %q: %v", e, err)
+		}
+		vals := make([]int64, len(propVars))
+		for i, v := range propVars {
+			vals[i] = env[v]
+		}
+		if got, want := ve.EvalVec(vals), evalAt(t, e, env); got != want {
+			t.Fatalf("EvalVec(%v) of %q = %d, Eval = %d", vals, e, got, want)
+		}
+		// Coef is trimmed: evaluating against the shortest prefix that
+		// covers the mentioned variables must give the same value.
+		if got := ve.EvalVec(vals[:len(ve.Coef)]); got != ve.EvalVec(vals) {
+			t.Fatalf("prefix eval of %q differs: %d vs %d", e, got, ve.EvalVec(vals))
+		}
+	}
+	// Binding an expression with an out-of-order variable list still works.
+	e := affine.Var("j").Add(affine.Term("i", 2))
+	ve := e.MustBind([]string{"j", "i"})
+	if got := ve.EvalVec([]int64{5, 7}); got != 5+2*7 {
+		t.Fatalf("reordered bind = %d, want 19", got)
+	}
+	// Binding against a list missing a mentioned variable is an error.
+	if _, err := e.Bind([]string{"i"}); err == nil {
+		t.Fatalf("bind with missing variable accepted")
+	}
+}
+
+func randVec(rng *rand.Rand, n int) affine.Vector {
+	v := make(affine.Vector, n)
+	for i := range v {
+		v[i] = int64(rng.Intn(7) - 3)
+	}
+	return v
+}
+
+func TestVectorOpsAgreeWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(4)
+		a, b := randVec(rng, n), randVec(rng, n)
+		sum, diff, neg := a.Add(b), a.Sub(b), a.Neg()
+		for i := 0; i < n; i++ {
+			if sum[i] != a[i]+b[i] || diff[i] != a[i]-b[i] || neg[i] != -a[i] {
+				t.Fatalf("componentwise mismatch: %v, %v -> %v %v %v", a, b, sum, diff, neg)
+			}
+		}
+
+		// Compare against a naive reference.
+		ref := 0
+		for i := 0; i < n; i++ {
+			if a[i] != b[i] {
+				if a[i] < b[i] {
+					ref = -1
+				} else {
+					ref = 1
+				}
+				break
+			}
+		}
+		if got := a.Compare(b); got != ref {
+			t.Fatalf("Compare(%v, %v) = %d, want %d", a, b, got, ref)
+		}
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("Compare not antisymmetric for %v, %v", a, b)
+		}
+
+		// Lex sign predicates are Compare against zero.
+		zero := make(affine.Vector, n)
+		if a.LexPositive() != (a.Compare(zero) > 0) {
+			t.Fatalf("LexPositive(%v) inconsistent with Compare", a)
+		}
+		if a.LexNegative() != (a.Compare(zero) < 0) {
+			t.Fatalf("LexNegative(%v) inconsistent with Compare", a)
+		}
+		// PrefixLexPositive(k) is LexPositive of the prefix, and k beyond
+		// the length clamps.
+		for k := 0; k <= n+1; k++ {
+			kk := k
+			if kk > n {
+				kk = n
+			}
+			want := affine.Vector(a[:kk]).LexPositive()
+			if got := a.PrefixLexPositive(k); got != want {
+				t.Fatalf("PrefixLexPositive(%v, %d) = %v, want %v", a, k, got, want)
+			}
+		}
+	}
+}

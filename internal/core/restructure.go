@@ -56,19 +56,14 @@ type Restructurer struct {
 type Options struct {
 	// Jobs bounds the worker pool of the analysis passes (iteration-space
 	// enumeration, subscript validation, dependence build, disk
-	// attribution). 0 and 1 both run serially; values above 1 fan out on
-	// internal/conc. Every pass produces bit-identical results at any Jobs.
+	// attribution). Zero selects runtime.GOMAXPROCS(0); 1 forces the fully
+	// serial path; negative values are rejected — the same convention as
+	// sim.Config.Jobs and exp.Options.Jobs. Every pass produces bit-
+	// identical results at any Jobs value.
 	Jobs int
 	// Span, when non-nil, receives one child span per analysis pass
 	// ("space", "validate", "deps", "attribute-disks").
 	Span *obs.Span
-}
-
-func (o Options) jobs() int {
-	if o.Jobs < 1 {
-		return 1
-	}
-	return o.Jobs
 }
 
 // New builds a Restructurer for prog with the given layout. The layout may
@@ -81,6 +76,9 @@ func New(prog *sema.Program, l *layout.Layout) (*Restructurer, error) {
 // passes run on at most opt.Jobs workers and stop early if ctx is
 // canceled. The resulting Restructurer is identical to New's at any Jobs.
 func NewCtx(ctx context.Context, prog *sema.Program, l *layout.Layout, opt Options) (*Restructurer, error) {
+	if opt.Jobs < 0 {
+		return nil, fmt.Errorf("core: Jobs %d must be >= 0 (0 selects GOMAXPROCS, 1 forces the serial path)", opt.Jobs)
+	}
 	var err error
 	if l == nil {
 		l, err = layout.New(prog, 0)
@@ -88,7 +86,7 @@ func NewCtx(ctx context.Context, prog *sema.Program, l *layout.Layout, opt Optio
 			return nil, err
 		}
 	}
-	jobs := opt.jobs()
+	jobs := opt.Jobs
 	sp := opt.Span.Child("space")
 	space, err := interp.BuildSpaceCtx(ctx, prog, jobs)
 	sp.End()

@@ -1,0 +1,477 @@
+// Package drlgen generates random DRL programs that are valid by
+// construction: every generated source parses, passes semantic analysis,
+// admits a layout, and yields an iteration space whose subscripts stay in
+// bounds. The generator is the input side of the randomized correctness
+// harness (internal/invariant): a seed (or a fuzzer-supplied byte stream)
+// deterministically selects loop-nest shapes, array shapes, striping
+// parameters, and reference patterns, and the emitted source is fed through
+// the full compile → restructure → trace → simulate pipeline.
+//
+// Validity is guaranteed structurally, not by retrying: subscript
+// expressions are generated first, their value ranges are computed by
+// interval arithmetic over the loop bounds, constants are shifted so every
+// subscript is non-negative, and array dimensions are sized post hoc to
+// cover the maximum touched index. Element sizes and stripe units are drawn
+// from divisors/multiples of the 4 KiB page, so the layout divisibility
+// checks always pass.
+package drlgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"diskreuse/internal/affine"
+)
+
+// Config bounds the shape of generated programs. The zero value of every
+// field selects the listed default; the percentage knobs accept -1 to mean
+// "never" (0 also selects the default, so the zero Config is usable).
+type Config struct {
+	MaxArrays     int // max arrays per program (default 3)
+	MaxNests      int // max loop nests (default 3)
+	MinDepth      int // min loop depth per nest (default 1)
+	MaxDepth      int // max loop depth per nest (default 2)
+	MinExtent     int // min iterations per loop level (default 1)
+	MaxExtent     int // max iterations per loop level (default 6)
+	MaxStmts      int // max statements per nest body (default 3)
+	MaxIterations int // cap on the whole program's iteration count (default 512)
+
+	// Percentage knobs: chance in [0,100]; 0 selects the default, -1 disables.
+	DepPairPct    int // read derived from an earlier write's subscripts (default 50)
+	TriangularPct int // inner loop bound referencing an outer iterator (default 25)
+	ParamPct      int // constant loop bound emitted via a param decl (default 20)
+	StepPct       int // loop step 2 instead of 1 (default 20)
+}
+
+// withDefaults resolves zero fields to their documented defaults and
+// normalizes the percentage knobs.
+func (c Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.MaxArrays, 3)
+	def(&c.MaxNests, 3)
+	def(&c.MinDepth, 1)
+	def(&c.MaxDepth, 2)
+	def(&c.MinExtent, 1)
+	def(&c.MaxExtent, 6)
+	def(&c.MaxStmts, 3)
+	def(&c.MaxIterations, 512)
+	def(&c.DepPairPct, 50)
+	def(&c.TriangularPct, 25)
+	def(&c.ParamPct, 20)
+	def(&c.StepPct, 20)
+	if c.MaxDepth < c.MinDepth {
+		c.MaxDepth = c.MinDepth
+	}
+	if c.MaxExtent < c.MinExtent {
+		c.MaxExtent = c.MinExtent
+	}
+	pct := func(v *int) {
+		if *v < 0 {
+			*v = 0
+		} else if *v > 100 {
+			*v = 100
+		}
+	}
+	pct(&c.DepPairPct)
+	pct(&c.TriangularPct)
+	pct(&c.ParamPct)
+	pct(&c.StepPct)
+	return c
+}
+
+// Case is one generated program. Seed is -1 for byte-stream (fuzz) cases.
+type Case struct {
+	Seed   int64
+	Source string
+}
+
+// entropy is the single randomness abstraction behind both entry points:
+// seeded PRNG draws for Generate, and a consumed byte stream for FromBytes.
+// When the byte stream runs out every draw returns 0, so any prefix of a
+// fuzzer input degrades gracefully into the minimal valid program rather
+// than an error.
+type entropy struct {
+	rng  *rand.Rand
+	data []byte
+	pos  int
+}
+
+// intn draws a uniform value in [0, n). Byte mode consumes two bytes per
+// draw so moduli up to MaxExtent stay reasonably uniform.
+func (e *entropy) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if e.rng != nil {
+		return e.rng.Intn(n)
+	}
+	v := 0
+	for i := 0; i < 2; i++ {
+		var b byte
+		if e.pos < len(e.data) {
+			b = e.data[e.pos]
+			e.pos++
+		}
+		v = v<<8 | int(b)
+	}
+	return v % n
+}
+
+// between draws a uniform value in [lo, hi] (inclusive).
+func (e *entropy) between(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + e.intn(hi-lo+1)
+}
+
+// pct is true with probability p percent.
+func (e *entropy) pct(p int) bool { return e.intn(100) < p }
+
+// Generate emits the program selected by seed under cfg. The same
+// (seed, cfg) pair always yields the same source.
+func Generate(seed int64, cfg Config) Case {
+	g := newGen(&entropy{rng: rand.New(rand.NewSource(seed))}, cfg)
+	return Case{Seed: seed, Source: g.program()}
+}
+
+// FromBytes emits the program selected by a fuzzer-controlled byte stream.
+// Every input, including the empty one, yields a valid program.
+func FromBytes(data []byte, cfg Config) Case {
+	g := newGen(&entropy{data: data}, cfg)
+	return Case{Seed: -1, Source: g.program()}
+}
+
+// garray is an array being sized as references to it are generated: need[d]
+// tracks the maximum touched index of dimension d, and the declaration is
+// emitted post hoc with Dims[d] = need[d]+1.
+type garray struct {
+	name   string
+	rank   int
+	elem   int64 // element size in bytes; divides the 4 KiB page
+	unitK  int   // stripe unit in KiB; multiple of the 4 KiB page
+	factor int
+	start  int
+	need   []int64
+}
+
+// glevel is one loop level with its emitted bounds and the value range
+// [lo, hi] its iterator can take (used for interval arithmetic).
+type glevel struct {
+	v      string
+	loSrc  string
+	hiSrc  string
+	lo, hi int64
+	step   int64
+}
+
+// gref is one generated array reference: per-dimension affine subscripts
+// over the nest's iterator names.
+type gref struct {
+	arr  *garray
+	subs []affine.Expr
+}
+
+// gen carries the generation state of one program.
+type gen struct {
+	e      *entropy
+	cfg    Config
+	arrays []*garray
+	params []string // emitted param declarations, in order
+	// writes records every write reference generated so far, across nests,
+	// paired with its nest's levels for range recomputation. Dep-pair reads
+	// clone one of these with a shifted constant, inducing flow/anti/output
+	// dependences for the scheduler to respect.
+	writes []depSource
+}
+
+type depSource struct {
+	ref    gref
+	levels []glevel
+}
+
+func newGen(e *entropy, cfg Config) *gen {
+	return &gen{e: e, cfg: cfg.withDefaults()}
+}
+
+// program generates the whole source: arrays and nests are generated first
+// (sizing the arrays as a side effect), then assembled in declaration order
+// params, arrays, nests.
+func (g *gen) program() string {
+	numArrays := g.e.between(1, g.cfg.MaxArrays)
+	for i := 0; i < numArrays; i++ {
+		a := &garray{
+			name:   string(rune('A' + i)),
+			rank:   g.e.between(1, 2),
+			elem:   []int64{8, 512, 4096}[g.e.intn(3)],
+			unitK:  4 * g.e.between(1, 4),
+			factor: g.e.between(1, 4),
+			start:  g.e.intn(2),
+		}
+		a.need = make([]int64, a.rank)
+		g.arrays = append(g.arrays, a)
+	}
+	numNests := g.e.between(1, g.cfg.MaxNests)
+	capPerNest := g.cfg.MaxIterations / numNests
+	if capPerNest < 1 {
+		capPerNest = 1
+	}
+	nests := make([]string, numNests)
+	for k := range nests {
+		nests[k] = g.nest(k, capPerNest)
+	}
+
+	var b strings.Builder
+	for _, p := range g.params {
+		b.WriteString(p)
+		b.WriteByte('\n')
+	}
+	for _, a := range g.arrays {
+		fmt.Fprintf(&b, "array %s", a.name)
+		for _, n := range a.need {
+			fmt.Fprintf(&b, "[%d]", n+1)
+		}
+		fmt.Fprintf(&b, " elem %d stripe(unit=%dK, factor=%d, start=%d)\n",
+			a.elem, a.unitK, a.factor, a.start)
+	}
+	for _, n := range nests {
+		b.WriteString(n)
+	}
+	return b.String()
+}
+
+// nest generates one loop nest whose worst-case iteration count stays
+// within budget.
+func (g *gen) nest(idx, budget int) string {
+	depth := g.e.between(g.cfg.MinDepth, g.cfg.MaxDepth)
+	levels := make([]glevel, 0, depth)
+	prod := 1
+	for l := 0; l < depth; l++ {
+		remaining := budget / prod
+		if remaining < 1 {
+			remaining = 1
+		}
+		lv := g.level(l, levels, remaining)
+		count := int((lv.hi-lv.lo)/lv.step) + 1
+		prod *= count
+		levels = append(levels, lv)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "nest n%d {\n", idx)
+	for l, lv := range levels {
+		indent(&b, l+1)
+		fmt.Fprintf(&b, "for %s = %s to %s", lv.v, lv.loSrc, lv.hiSrc)
+		if lv.step != 1 {
+			fmt.Fprintf(&b, " step %d", lv.step)
+		}
+		b.WriteString(" {\n")
+	}
+	nStmts := g.e.between(1, g.cfg.MaxStmts)
+	for s := 0; s < nStmts; s++ {
+		indent(&b, depth+1)
+		g.stmt(&b, levels)
+	}
+	for l := depth; l >= 1; l-- {
+		indent(&b, l)
+		b.WriteString("}\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func indent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("  ")
+	}
+}
+
+// level generates loop level l. The worst-case trip count never exceeds
+// remaining, keeping the whole-program iteration count under
+// Config.MaxIterations.
+func (g *gen) level(l int, outer []glevel, remaining int) glevel {
+	lv := glevel{v: string(rune('i' + l)), step: 1}
+	if g.e.pct(g.cfg.StepPct) {
+		lv.step = 2
+	}
+	size := g.e.between(g.cfg.MinExtent, g.cfg.MaxExtent)
+
+	if l > 0 && g.e.pct(g.cfg.TriangularPct) {
+		// Triangular: lo tracks an outer iterator, hi is a constant high
+		// enough that the loop body runs for every outer value. Worst-case
+		// trip count (outer at its minimum) must fit the budget.
+		m := g.e.intn(l)
+		off := int64(g.e.intn(2))
+		hi := outer[m].hi + off + int64(size) - 1
+		lo := outer[m].lo + off
+		if worst := int((hi-lo)/lv.step) + 1; worst <= remaining {
+			lv.lo, lv.hi = lo, hi
+			loExpr := affine.Term(outer[m].v, 1).AddConst(off)
+			lv.loSrc = loExpr.String()
+			lv.hiSrc = fmt.Sprintf("%d", hi)
+			return lv
+		}
+	}
+
+	// Rectangular: constant bounds, optionally via a param declaration.
+	if maxSize := (remaining-1)*int(lv.step) + 1; size > maxSize {
+		size = maxSize
+	}
+	if size < 1 {
+		size = 1
+	}
+	lo := int64(g.e.intn(3))
+	hi := lo + int64(size) - 1
+	lv.lo, lv.hi = lo, hi
+	lv.loSrc = fmt.Sprintf("%d", lo)
+	lv.hiSrc = fmt.Sprintf("%d", hi)
+	if g.e.pct(g.cfg.ParamPct) {
+		name := fmt.Sprintf("P%d", len(g.params))
+		g.params = append(g.params, fmt.Sprintf("param %s = %d", name, hi))
+		lv.hiSrc = name
+	}
+	return lv
+}
+
+// stmt emits one statement: either a pure read ("read A[i];") or an
+// assignment whose right-hand side sums read references and constants.
+func (g *gen) stmt(b *strings.Builder, levels []glevel) {
+	if g.e.pct(20) {
+		r := g.ref(levels)
+		fmt.Fprintf(b, "read %s;\n", g.refSrc(r))
+		return
+	}
+	w := g.ref(levels)
+	g.writes = append(g.writes, depSource{ref: w, levels: levels})
+	fmt.Fprintf(b, "%s =", g.refSrc(w))
+	nReads := g.e.between(1, 2)
+	for t := 0; t < nReads; t++ {
+		if t > 0 {
+			b.WriteString(" +")
+		}
+		var r gref
+		if len(g.writes) > 0 && g.e.pct(g.cfg.DepPairPct) {
+			r = g.depRef(levels)
+		} else {
+			r = g.ref(levels)
+		}
+		if coef := g.e.intn(3); coef >= 2 {
+			fmt.Fprintf(b, " %d*%s", coef, g.refSrc(r))
+		} else {
+			fmt.Fprintf(b, " %s", g.refSrc(r))
+		}
+	}
+	if g.e.pct(30) {
+		fmt.Fprintf(b, " + %d", g.e.intn(5))
+	}
+	b.WriteString(";\n")
+}
+
+// refSrc renders a reference as source text.
+func (g *gen) refSrc(r gref) string {
+	var b strings.Builder
+	b.WriteString(r.arr.name)
+	for _, s := range r.subs {
+		fmt.Fprintf(&b, "[%s]", s.String())
+	}
+	return b.String()
+}
+
+// ref generates a fresh reference: per dimension, a subscript over the
+// nest's iterators whose value range (by interval arithmetic over the loop
+// bounds) is shifted non-negative, and the array's needed extent grows to
+// cover it.
+func (g *gen) ref(levels []glevel) gref {
+	a := g.arrays[g.e.intn(len(g.arrays))]
+	r := gref{arr: a, subs: make([]affine.Expr, a.rank)}
+	for d := 0; d < a.rank; d++ {
+		var e affine.Expr
+		switch kind := g.e.intn(3); {
+		case kind == 1 && len(levels) >= 2:
+			// Sum or difference of two distinct iterators.
+			la := g.e.intn(len(levels))
+			lb := (la + 1 + g.e.intn(len(levels)-1)) % len(levels)
+			c := int64(1)
+			if g.e.pct(40) {
+				c = -1
+			}
+			e = affine.Term(levels[la].v, 1).Add(affine.Term(levels[lb].v, c))
+		case kind == 2:
+			e = affine.Constant(int64(g.e.intn(4)))
+		default:
+			// Single iterator with coefficient 1, 2, or -1.
+			lvl := g.e.intn(len(levels))
+			c := []int64{1, 1, 2, -1}[g.e.intn(4)]
+			e = affine.Term(levels[lvl].v, c)
+		}
+		mn, _ := exprRange(e, levels)
+		shift := int64(g.e.intn(3))
+		if mn < 0 {
+			shift += -mn
+		}
+		e = e.AddConst(shift)
+		r.subs[d] = e
+		if _, mx := exprRange(e, levels); mx >= a.need[d] {
+			a.need[d] = mx
+		}
+	}
+	return r
+}
+
+// depRef derives a read from a previously generated write: same array, same
+// linear subscript part, constant shifted by -1..1 (then renormalized
+// non-negative). When the source write came from the same nest this induces
+// loop-carried flow/anti dependences; across nests it induces inter-nest
+// edges. Writes from other nests may use iterator names this nest lacks, so
+// unknown iterators are substituted with in-scope ones.
+func (g *gen) depRef(levels []glevel) gref {
+	src := g.writes[g.e.intn(len(g.writes))]
+	a := src.ref.arr
+	r := gref{arr: a, subs: make([]affine.Expr, a.rank)}
+	inScope := make(map[string]bool, len(levels))
+	for _, lv := range levels {
+		inScope[lv.v] = true
+	}
+	for d := range src.ref.subs {
+		e := src.ref.subs[d].Clone()
+		for _, v := range e.Vars() {
+			if !inScope[v] {
+				e = e.Subst(v, affine.Term(levels[g.e.intn(len(levels))].v, 1))
+			}
+		}
+		e = e.AddConst(int64(g.e.intn(3) - 1))
+		mn, _ := exprRange(e, levels)
+		if mn < 0 {
+			e = e.AddConst(-mn)
+		}
+		r.subs[d] = e
+		if _, mx := exprRange(e, levels); mx >= a.need[d] {
+			a.need[d] = mx
+		}
+	}
+	return r
+}
+
+// exprRange computes the value range of an affine expression by interval
+// arithmetic over each iterator's [lo, hi] range. For triangular loops the
+// per-level range is itself an over-approximation, which is safe: arrays
+// are sized to the upper bound.
+func exprRange(e affine.Expr, levels []glevel) (mn, mx int64) {
+	mn, mx = e.Const, e.Const
+	for _, lv := range levels {
+		c := e.Coeff(lv.v)
+		if c > 0 {
+			mn += c * lv.lo
+			mx += c * lv.hi
+		} else if c < 0 {
+			mn += c * lv.hi
+			mx += c * lv.lo
+		}
+	}
+	return mn, mx
+}

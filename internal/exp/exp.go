@@ -82,7 +82,8 @@ type Options struct {
 	// and (app, version) simulations — run concurrently, and is threaded
 	// through to the simulator's per-disk open-loop sharding
 	// (sim.Config.Jobs) and the analysis front-end (core.Options.Jobs).
-	// Zero selects runtime.GOMAXPROCS(0); 1 forces the fully serial path.
+	// Zero selects runtime.GOMAXPROCS(0); 1 forces the fully serial path;
+	// negative values are rejected.
 	// Results are deterministic and bit-identical at every Jobs value:
 	// cells share only read-only memoized artifacts (including the
 	// prepared traces), and each writes its own result slot.
@@ -106,9 +107,19 @@ func (o *Options) fill() {
 	if o.Model.Name == "" {
 		o.Model = disk.Ultrastar36Z15()
 	}
-	if o.Jobs <= 0 {
+	if o.Jobs == 0 {
 		o.Jobs = runtime.GOMAXPROCS(0)
 	}
+}
+
+// validate rejects option values that fill must not paper over. Negative
+// Jobs is an error rather than an alias for the default, matching
+// sim.Config.Jobs and core.Options.Jobs.
+func (o *Options) validate() error {
+	if o.Jobs < 0 {
+		return fmt.Errorf("exp: Jobs %d must be >= 0 (0 selects GOMAXPROCS, 1 forces the serial path)", o.Jobs)
+	}
+	return nil
 }
 
 // versionsOf lists the versions an Options evaluates, in report order.
@@ -500,6 +511,9 @@ func RunApp(a apps.App, opt Options) (*AppResult, error) {
 // out across opt.Jobs workers, and the first error (or ctx cancellation)
 // stops the remaining ones.
 func RunAppContext(ctx context.Context, a apps.App, opt Options) (*AppResult, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	opt.fill()
 	ctx = obs.WithPool(ctx, opt.Tracer.Pool())
 	art, err := prepareApp(ctx, a, opt)
@@ -544,6 +558,9 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 // output is deterministic — deep-equal to the Jobs=1 serial run — and the
 // first error (or ctx cancellation) stops the remaining work.
 func RunSuiteContext(ctx context.Context, opt Options) (*SuiteResult, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	opt.fill()
 	ctx = obs.WithPool(ctx, opt.Tracer.Pool())
 	suite := apps.Suite(opt.Size)

@@ -1,0 +1,67 @@
+package interp
+
+// Metamorphic store-state replay: executing the program's iterations in any
+// legal order (one respecting every dependence edge) must leave every array
+// element with exactly the same final value as program order. Rather than
+// model real arithmetic, the replay assigns each write a value that hashes
+// the writing statement instance together with the values it read, so any
+// illegal reorder — a flow, anti, or output violation — propagates into a
+// differing final state with overwhelming probability.
+
+// mix is the splitmix64 finalizer: a cheap, well-distributed 64-bit hash.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// FinalStoreState abstractly executes the iterations in the given order and
+// returns the per-array element states: states[a][lin] is the hash value
+// of array a's element lin after the last write (or its seed value if never
+// written). order must be a permutation of the iteration ids; entries are
+// trusted (use VerifySchedule for the legality oracle).
+//
+// Each element starts from a hash of its (array, element) identity. Each
+// statement instance writes mix-fold(stmt identity, values read, in access
+// order), so the value stored by a write depends on every value it read —
+// the dataflow the dependence edges protect.
+func (s *Space) FinalStoreState(order []int) [][]uint64 {
+	states := make([][]uint64, len(s.Prog.Arrays))
+	for i, a := range s.Prog.Arrays {
+		st := make([]uint64, a.Elems())
+		for j := range st {
+			st[j] = mix(uint64(i+1)<<32 ^ uint64(j))
+		}
+		states[i] = st
+	}
+	var buf []Access
+	for _, u := range order {
+		buf = s.Accesses(u, buf[:0])
+		i := 0
+		for i < len(buf) {
+			// One statement's group: reads first, then its write (if any).
+			stmt := buf[i].Stmt
+			j := i
+			for j < len(buf) && buf[j].Stmt == stmt {
+				j++
+			}
+			h := mix(uint64(u)<<16 | uint64(stmt))
+			wrote := -1
+			for k := i; k < j; k++ {
+				a := buf[k]
+				if a.Write {
+					wrote = k
+					continue
+				}
+				h = mix(h ^ states[a.Array.Index][a.Lin])
+			}
+			if wrote >= 0 {
+				a := buf[wrote]
+				states[a.Array.Index][a.Lin] = h
+			}
+			i = j
+		}
+	}
+	return states
+}

@@ -1,0 +1,24 @@
+package invariant
+
+import (
+	"testing"
+
+	"diskreuse/internal/drlgen"
+)
+
+// FuzzPipeline drives the whole pipeline from fuzzer-chosen bytes: the
+// bytes steer drlgen's structural choices (every byte string maps to a
+// valid program), and the resulting case must satisfy all five invariant
+// families. Any crash or violation the fuzzer finds is replayable with
+// `dpcc -fuzz-case <corpus file>`.
+func FuzzPipeline(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("steer the generator through its branches"))
+	f.Add([]byte{0xff, 0x00, 0x80, 0x41, 0x07, 0xc3, 0x19, 0xee, 0x5a, 0x33})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := drlgen.FromBytes(data, PipelineFuzzConfig)
+		if _, err := Check(c.Source, Options{Jobs: 2, ComputePerIter: 0.05}); err != nil {
+			t.Fatalf("pipeline invariant violated: %v\nsource:\n%s", err, c.Source)
+		}
+	})
+}

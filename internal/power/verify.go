@@ -1,0 +1,108 @@
+package power
+
+import "fmt"
+
+// verifyEps is the relative slack for the meter's floating-point
+// identities: comparisons scale it by (1 + |a| + |b|), so long accumulation
+// runs are judged proportionally.
+const verifyEps = 1e-9
+
+// leq reports a ≤ b up to relative slack.
+func leq(a, b float64) bool { return a <= b+verifyEps*(1+abs64(a)+abs64(b)) }
+
+// eq reports a == b up to relative slack.
+func eq(a, b float64) bool { return leq(a, b) && leq(b, a) }
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// VerifyMeter checks a meter's accounting against the energy model: every
+// duration and energy is non-negative, each state's energy lies within the
+// power bounds the model admits for that state (idle and active power are
+// monotone in RPM, so time × power at RPMMin / RPMMax bracket any mix of
+// speeds), standby energy is exactly standby power × time, and the
+// transition totals decompose into the counted spin-ups, spin-downs, and
+// speed shifts. It is the per-disk half of the simulator conservation
+// checks in internal/invariant.
+func VerifyMeter(e *Meter) error {
+	m := e.M
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"ActiveTime", e.ActiveTime}, {"IdleTime", e.IdleTime},
+		{"StandbyTime", e.StandbyTime}, {"TransitionTime", e.TransitionTime},
+		{"ActiveEnergy", e.ActiveEnergy}, {"IdleEnergy", e.IdleEnergy},
+		{"StandbyEnergy", e.StandbyEnergy}, {"TransitionEnergy", e.TransitionEnergy},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("power: %s negative: %g", c.name, c.v)
+		}
+	}
+	if e.SpinUps < 0 || e.SpinDowns < 0 || e.SpeedShifts < 0 {
+		return fmt.Errorf("power: negative transition count (ups=%d downs=%d shifts=%d)",
+			e.SpinUps, e.SpinDowns, e.SpeedShifts)
+	}
+
+	// Idle and active power are monotone increasing in RPM, so the energy
+	// accumulated over any mix of speeds in [RPMMin, RPMMax] is bracketed by
+	// the extremes. A model without a low-speed mode (RPMMin <= 0) still
+	// bottoms out at standby power, the speed-independent component.
+	idleLo := m.PowerStandby
+	if m.RPMMin > 0 {
+		idleLo = IdlePowerAt(m, m.RPMMin)
+	}
+	idleHi := IdlePowerAt(m, m.RPMMax)
+	if !leq(idleLo*e.IdleTime, e.IdleEnergy) || !leq(e.IdleEnergy, idleHi*e.IdleTime) {
+		return fmt.Errorf("power: idle energy %g J outside [%g, %g] for %g s idle",
+			e.IdleEnergy, idleLo*e.IdleTime, idleHi*e.IdleTime, e.IdleTime)
+	}
+	activeLo := idleLo + (m.PowerActive - m.PowerIdle)
+	activeHi := ActivePowerAt(m, m.RPMMax)
+	if !leq(activeLo*e.ActiveTime, e.ActiveEnergy) || !leq(e.ActiveEnergy, activeHi*e.ActiveTime) {
+		return fmt.Errorf("power: active energy %g J outside [%g, %g] for %g s active",
+			e.ActiveEnergy, activeLo*e.ActiveTime, activeHi*e.ActiveTime, e.ActiveTime)
+	}
+	if !eq(e.StandbyEnergy, m.PowerStandby*e.StandbyTime) {
+		return fmt.Errorf("power: standby energy %g J != %g W × %g s",
+			e.StandbyEnergy, m.PowerStandby, e.StandbyTime)
+	}
+
+	// Transitions: full spin-ups/downs charge their data-sheet costs
+	// exactly; each DRPM shift charges at most one full transition (scaled
+	// by the speed delta), so the counted shifts bound the remainder.
+	baseT := float64(e.SpinUps)*m.SpinUpTime + float64(e.SpinDowns)*m.SpinDownTime
+	baseE := float64(e.SpinUps)*m.SpinUpEnergy + float64(e.SpinDowns)*m.SpinDownEnergy
+	maxShiftT := m.SpinUpTime
+	if m.SpinDownTime > maxShiftT {
+		maxShiftT = m.SpinDownTime
+	}
+	maxShiftE := m.SpinUpEnergy
+	if m.SpinDownEnergy > maxShiftE {
+		maxShiftE = m.SpinDownEnergy
+	}
+	if e.SpeedShifts == 0 {
+		if !eq(e.TransitionTime, baseT) {
+			return fmt.Errorf("power: transition time %g s != %d spin-ups + %d spin-downs = %g s",
+				e.TransitionTime, e.SpinUps, e.SpinDowns, baseT)
+		}
+		if !eq(e.TransitionEnergy, baseE) {
+			return fmt.Errorf("power: transition energy %g J != %d spin-ups + %d spin-downs = %g J",
+				e.TransitionEnergy, e.SpinUps, e.SpinDowns, baseE)
+		}
+	} else {
+		if !leq(baseT, e.TransitionTime) || !leq(e.TransitionTime, baseT+float64(e.SpeedShifts)*maxShiftT) {
+			return fmt.Errorf("power: transition time %g s outside [%g, %g] for %d shifts",
+				e.TransitionTime, baseT, baseT+float64(e.SpeedShifts)*maxShiftT, e.SpeedShifts)
+		}
+		if !leq(baseE, e.TransitionEnergy) || !leq(e.TransitionEnergy, baseE+float64(e.SpeedShifts)*maxShiftE) {
+			return fmt.Errorf("power: transition energy %g J outside [%g, %g] for %d shifts",
+				e.TransitionEnergy, baseE, baseE+float64(e.SpeedShifts)*maxShiftE, e.SpeedShifts)
+		}
+	}
+	return nil
+}
