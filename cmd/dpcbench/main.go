@@ -34,6 +34,7 @@ import (
 	"diskreuse/internal/apps"
 	"diskreuse/internal/disk"
 	"diskreuse/internal/exp"
+	"diskreuse/internal/interp"
 	"diskreuse/internal/layoutopt"
 	"diskreuse/internal/obs"
 	"diskreuse/internal/sema"
@@ -45,6 +46,7 @@ type options struct {
 	all                     bool
 	size                    string
 	procs, jobs             int
+	engine                  string
 	csvPath, jsonPath       string
 	// report renders the observability report (per-app × per-version
 	// energy/degradation/idle-locality rows plus stage timings) to stdout
@@ -65,6 +67,7 @@ func main() {
 	flag.StringVar(&o.size, "size", "default", "workload scale: tiny, small, or default")
 	flag.IntVar(&o.procs, "procs", 4, "processor count for the (b) figures")
 	flag.IntVar(&o.jobs, "jobs", 0, "max concurrent pipeline cells (0 = GOMAXPROCS, 1 = serial)")
+	flag.StringVar(&o.engine, "engine", "compiled", "front-end execution engine: compiled (stride-compiled kernels) or interp (tree-walk oracle)")
 	flag.StringVar(&o.csvPath, "csv", "", "also write the suite results in CSV long form to this file")
 	flag.StringVar(&o.jsonPath, "json", "", "also write the suite's normalized-energy and degradation metrics as JSON to this file (e.g. BENCH_suite.json)")
 	flag.StringVar(&o.report, "report", "", "render the energy/idle-locality/stage-timing report to stdout: text, json, or csv")
@@ -104,6 +107,10 @@ func run(o options) (err error) {
 			err = perr
 		}
 	}()
+	engine, err := interp.ParseEngine(o.engine)
+	if err != nil {
+		return err
+	}
 	table, figure, ablation := o.table, o.figure, o.ablation
 	all := o.all
 	if !all && table == "" && figure == "" && ablation == "" && o.report == "" {
@@ -120,12 +127,12 @@ func run(o options) (err error) {
 	needN := all || figure == "9b" || figure == "10b" ||
 		o.csvPath != "" || o.jsonPath != "" || o.report != ""
 	if need1 {
-		if suite1, err = exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: o.jobs, Tracer: tr}); err != nil {
+		if suite1, err = exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: o.jobs, Engine: engine, Tracer: tr}); err != nil {
 			return err
 		}
 	}
 	if needN {
-		if suiteN, err = exp.RunSuite(exp.Options{Size: size, Procs: o.procs, Jobs: o.jobs, Tracer: tr}); err != nil {
+		if suiteN, err = exp.RunSuite(exp.Options{Size: size, Procs: o.procs, Jobs: o.jobs, Engine: engine, Tracer: tr}); err != nil {
 			return err
 		}
 	}
@@ -212,15 +219,15 @@ func run(o options) (err error) {
 	case "stripes":
 		return ablationStripes(size)
 	case "threshold":
-		return ablationThreshold(size, o.jobs)
+		return ablationThreshold(size, o.jobs, engine)
 	case "window":
-		return ablationWindow(size, o.jobs)
+		return ablationWindow(size, o.jobs, engine)
 	case "layoutopt":
 		return ablationLayoutOpt(size)
 	case "proactive":
-		return ablationProactive(size, o.jobs)
+		return ablationProactive(size, o.jobs, engine)
 	case "raid":
-		return ablationRAID(size, o.jobs)
+		return ablationRAID(size, o.jobs, engine)
 	default:
 		return fmt.Errorf("unknown ablation %q", ablation)
 	}
@@ -238,10 +245,10 @@ func ablationStripes(size apps.Size) error {
 	return layoutopt.Report(os.Stdout, a)
 }
 
-func ablationThreshold(size apps.Size, jobs int) error {
+func ablationThreshold(size apps.Size, jobs int, engine interp.Engine) error {
 	fmt.Println("Ablation: TPM idleness threshold sweep (suite average T-TPM-s saving)")
 	for _, thr := range []float64{5, 10, 15.2, 30, 60} {
-		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: jobs, TPMThreshold: thr})
+		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: jobs, Engine: engine, TPMThreshold: thr})
 		if err != nil {
 			return err
 		}
@@ -251,10 +258,10 @@ func ablationThreshold(size apps.Size, jobs int) error {
 	return nil
 }
 
-func ablationWindow(size apps.Size, jobs int) error {
+func ablationWindow(size apps.Size, jobs int, engine interp.Engine) error {
 	fmt.Println("Ablation: DRPM controller window sweep (suite average T-DRPM-s saving)")
 	for _, win := range []int{25, 50, 100, 200, 400} {
-		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: jobs, DRPMWindow: win})
+		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: jobs, Engine: engine, DRPMWindow: win})
 		if err != nil {
 			return err
 		}
@@ -267,10 +274,10 @@ func ablationWindow(size apps.Size, jobs int) error {
 // ablationRAID sweeps the RAID-level striping width of Fig. 1 — the paper's
 // footnote reports that low-level striping "generated similar results",
 // i.e. the normalized savings barely move.
-func ablationRAID(size apps.Size, jobs int) error {
+func ablationRAID(size apps.Size, jobs int, engine interp.Engine) error {
 	fmt.Println("Ablation: RAID-level striping width (suite averages, 1 processor)")
 	for _, w := range []int{1, 2, 4} {
-		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: jobs, RAIDWidth: w})
+		sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: jobs, Engine: engine, RAIDWidth: w})
 		if err != nil {
 			return err
 		}
@@ -282,9 +289,9 @@ func ablationRAID(size apps.Size, jobs int) error {
 
 // ablationProactive compares reactive T-TPM against the P-TPM extension
 // (compiler-inserted spin-up directives, Son et al. [25]).
-func ablationProactive(size apps.Size, jobs int) error {
+func ablationProactive(size apps.Size, jobs int, engine interp.Engine) error {
 	fmt.Println("Ablation: proactive spin-up extension (restructured TPM, 1 processor)")
-	sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: jobs, Proactive: true})
+	sr, err := exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: jobs, Engine: engine, Proactive: true})
 	if err != nil {
 		return err
 	}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dpcc [-code] [-stats] [-deps] [-procs N] [-jobs N] [file.drl]
+//	dpcc [-code] [-stats] [-deps] [-procs N] [-jobs N] [-engine compiled|interp] [file.drl]
 //	dpcc -trace-out t.json file.drl    # Chrome trace of the analysis passes
 //	dpcc -report text file.drl         # stage-timing report (text, json, csv)
 //	dpcc -fuzz-case corpusfile         # replay a FuzzPipeline corpus entry
@@ -25,6 +25,7 @@ import (
 
 	"diskreuse/internal/core"
 	"diskreuse/internal/dep"
+	"diskreuse/internal/interp"
 	"diskreuse/internal/layout"
 	"diskreuse/internal/obs"
 	"diskreuse/internal/par"
@@ -39,6 +40,7 @@ type options struct {
 	showDeps               bool
 	procs                  int
 	jobs                   int
+	engine                 string
 	report                 string
 	traceOut               string
 	cpuProfile, memProfile string
@@ -58,6 +60,7 @@ func main() {
 	flag.BoolVar(&o.showDeps, "deps", false, "print the static data dependences per nest")
 	flag.IntVar(&o.procs, "procs", 1, "processors for the layout-aware parallelization report")
 	flag.IntVar(&o.jobs, "jobs", 1, "worker pool for the analysis front-end (0 = all CPUs)")
+	flag.StringVar(&o.engine, "engine", "compiled", "front-end execution engine: compiled (stride-compiled kernels) or interp (tree-walk oracle)")
 	flag.StringVar(&o.report, "report", "", "render the stage-timing report to stdout: text, json, or csv")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write analysis spans as Chrome trace_event JSON to this file (load in Perfetto)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
@@ -126,8 +129,12 @@ func run(o options) (err error) {
 	if err != nil {
 		return err
 	}
+	engine, err := interp.ParseEngine(o.engine)
+	if err != nil {
+		return err
+	}
 	ctx := obs.WithPool(context.Background(), tr.Pool())
-	r, err := core.NewCtx(ctx, prog, lay, core.Options{Jobs: o.jobs, Span: root})
+	r, err := core.NewCtx(ctx, prog, lay, core.Options{Jobs: o.jobs, Engine: engine, Span: root})
 	if err != nil {
 		return err
 	}

@@ -61,8 +61,14 @@ type Options struct {
 	// sim.Config.Jobs and exp.Options.Jobs. Every pass produces bit-
 	// identical results at any Jobs value.
 	Jobs int
+	// Engine selects the front-end execution engine: the stride-compiled
+	// kernels (interp.EngineCompiled, the zero value) or the tree-walk
+	// reference oracle (interp.EngineInterp). Both produce bit-identical
+	// Space, DepGraph, disk attribution, and schedules.
+	Engine interp.Engine
 	// Span, when non-nil, receives one child span per analysis pass
-	// ("space", "validate", "deps", "attribute-disks").
+	// ("space", "validate", "deps", "attribute-disks"); on the compiled
+	// engine the space pass has a "compile" child covering kernel lowering.
 	Span *obs.Span
 }
 
@@ -88,7 +94,11 @@ func NewCtx(ctx context.Context, prog *sema.Program, l *layout.Layout, opt Optio
 	}
 	jobs := opt.Jobs
 	sp := opt.Span.Child("space")
-	space, err := interp.BuildSpaceCtx(ctx, prog, jobs)
+	space, err := interp.BuildSpaceOpts(ctx, prog, interp.BuildOptions{
+		Jobs:   jobs,
+		Engine: opt.Engine,
+		Span:   sp,
+	})
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -133,11 +143,12 @@ func (r *Restructurer) attributeDisks(ctx context.Context, jobs int) error {
 	chunks := conc.Chunks(n, conc.ChunkCount(n, jobs, 1<<10))
 	errs := make([]error, len(chunks))
 	poolErr := conc.ForEach(ctx, len(chunks), jobs, func(_ context.Context, k int) error {
+		str := r.Space.NewStreamer()
 		var buf []interp.Access
 		for id := chunks[k][0]; id < chunks[k][1]; id++ {
-			buf = r.Space.Accesses(id, buf[:0])
+			buf = str.Accesses(id, buf[:0])
 			if len(buf) == 0 {
-				errs[k] = fmt.Errorf("core: iteration %v performs no accesses", r.Space.Iters[id])
+				errs[k] = fmt.Errorf("core: iteration %v performs no accesses", r.Space.IterAt(id))
 				return errs[k]
 			}
 			var disks []int8

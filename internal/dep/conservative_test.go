@@ -103,7 +103,7 @@ nest L {
 		static := AnalyzeNest(n)
 		for v := 0; v < space.NumIterations(); v++ {
 			for _, u := range g.Preds[v] {
-				iu, iv := space.Iters[u], space.Iters[v]
+				iu, iv := space.IterAt(int(u)), space.IterAt(v)
 				if iu.Nest != iv.Nest {
 					continue
 				}

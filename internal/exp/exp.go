@@ -13,6 +13,7 @@ import (
 	"diskreuse/internal/apps"
 	"diskreuse/internal/core"
 	"diskreuse/internal/disk"
+	"diskreuse/internal/interp"
 	"diskreuse/internal/layout"
 	"diskreuse/internal/obs"
 	"diskreuse/internal/par"
@@ -88,6 +89,12 @@ type Options struct {
 	// cells share only read-only memoized artifacts (including the
 	// prepared traces), and each writes its own result slot.
 	Jobs int
+	// Engine selects the front-end execution engine (core.Options.Engine):
+	// the stride-compiled kernels (interp.EngineCompiled, the zero value)
+	// or the tree-walk reference oracle (interp.EngineInterp). Both
+	// produce bit-identical results; interp exists for cross-checking and
+	// as the baseline of the engine speedup benchmarks.
+	Engine interp.Engine
 	// Tracer, when non-nil, records hierarchical spans for every pipeline
 	// stage (parse, sema, space, validate, deps, attribute-disks,
 	// restructure, generate-trace, prepare-trace) and every simulation —
@@ -270,7 +277,7 @@ func prepare(r *core.Restructurer, procs int) (orig, restrS, restrM *execution, 
 			// Split the processor's iterations by nest (barrier phases).
 			byNest := make([][]int, numNests)
 			for _, id := range sub {
-				k := r.Space.Iters[id].Nest
+				k := r.Space.Nest(id)
 				byNest[k] = append(byNest[k], id)
 			}
 			for _, group := range byNest {
@@ -359,7 +366,7 @@ func prepareApp(ctx context.Context, a apps.App, opt Options) (*artifacts, error
 	if err != nil {
 		return nil, err
 	}
-	r, err := core.NewCtx(ctx, p, lay, core.Options{Jobs: opt.Jobs, Span: root})
+	r, err := core.NewCtx(ctx, p, lay, core.Options{Jobs: opt.Jobs, Engine: opt.Engine, Span: root})
 	if err != nil {
 		return nil, err
 	}

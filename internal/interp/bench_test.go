@@ -32,16 +32,22 @@ var benchJobs = []struct {
 	{"jobs4", 4},
 }
 
+var benchEngines = []Engine{EngineCompiled, EngineInterp}
+
 func BenchmarkBuildSpace(b *testing.B) {
 	p := benchProgram(b)
 	ctx := context.Background()
-	for _, bj := range benchJobs {
-		b.Run(bj.name, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := BuildSpaceCtx(ctx, p, bj.jobs); err != nil {
-					b.Fatal(err)
-				}
+	for _, e := range benchEngines {
+		b.Run(e.String(), func(b *testing.B) {
+			for _, bj := range benchJobs {
+				b.Run(bj.name, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := BuildSpaceOpts(ctx, p, BuildOptions{Jobs: bj.jobs, Engine: e}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
 			}
 		})
 	}
@@ -50,17 +56,46 @@ func BenchmarkBuildSpace(b *testing.B) {
 func BenchmarkBuildDeps(b *testing.B) {
 	p := benchProgram(b)
 	ctx := context.Background()
-	s, err := BuildSpaceCtx(ctx, p, 0)
-	if err != nil {
-		b.Fatal(err)
+	for _, e := range benchEngines {
+		s, err := BuildSpaceOpts(ctx, p, BuildOptions{Jobs: 0, Engine: e})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(e.String(), func(b *testing.B) {
+			for _, bj := range benchJobs {
+				b.Run(bj.name, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := s.BuildDepsCtx(ctx, bj.jobs); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
 	}
-	for _, bj := range benchJobs {
-		b.Run(bj.name, func(b *testing.B) {
+}
+
+// BenchmarkAccesses measures the per-iteration access enumeration that
+// dominates trace generation and disk attribution: a sequential Streamer
+// sweep over the whole iteration space. On the compiled engine the sweep
+// rides the stride tables; on the interp engine the Streamer delegates to
+// the tree-walk Accesses oracle.
+func BenchmarkAccesses(b *testing.B) {
+	p := benchProgram(b)
+	ctx := context.Background()
+	for _, e := range benchEngines {
+		s, err := BuildSpaceOpts(ctx, p, BuildOptions{Jobs: 0, Engine: e})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(e.String(), func(b *testing.B) {
 			b.ReportAllocs()
+			st := s.NewStreamer()
+			n := s.NumIterations()
+			var buf []Access
 			for i := 0; i < b.N; i++ {
-				if _, err := s.BuildDepsCtx(ctx, bj.jobs); err != nil {
-					b.Fatal(err)
-				}
+				buf = st.Accesses(i%n, buf[:0])
 			}
 		})
 	}

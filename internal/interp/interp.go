@@ -21,6 +21,7 @@ import (
 
 	"diskreuse/internal/affine"
 	"diskreuse/internal/conc"
+	"diskreuse/internal/obs"
 	"diskreuse/internal/sema"
 )
 
@@ -57,44 +58,156 @@ type compiledRef struct {
 // Space is the enumerated iteration space of a whole program: every
 // iteration of every nest, in original program order, with compiled access
 // functions.
+//
+// Iteration vectors live in one flat arena per nest — depths[k] int64
+// coordinates per iteration, row-major in global id order — rather than a
+// materialized []Iteration: the arena holds no pointers, so enumeration is
+// a straight sequential fill and the collector never scans it. Iterations
+// are viewed through Nest, IterVec, and IterAt.
 type Space struct {
-	Prog  *sema.Program
-	Iters []Iteration // global id -> iteration
+	Prog *sema.Program
 	// NestFirst[k] is the global id of nest k's first iteration.
 	NestFirst []int
 
-	refs [][]compiledRef // per nest
+	arena  [][]int64 // per nest: flat iteration vectors
+	depths []int     // per nest: loop depth (arena row width)
+	total  int
+
+	refs    [][]compiledRef // per nest, write-first per statement
+	engine  Engine
+	kernels []*kernel // per nest; nil on the interp engine
+}
+
+// Nest returns the nest index of global iteration id.
+func (s *Space) Nest(id int) int {
+	// Nests are few; a backward scan beats a binary search and among
+	// equal NestFirst entries (empty nests) lands on the owning nest.
+	k := len(s.NestFirst) - 1
+	for k > 0 && s.NestFirst[k] > id {
+		k--
+	}
+	return k
+}
+
+// IterVec returns iteration id's vector: a view into the space's arena,
+// valid for the space's lifetime. Callers must not mutate it.
+func (s *Space) IterVec(id int) affine.Vector {
+	return s.iterVecIn(s.Nest(id), id)
+}
+
+func (s *Space) iterVecIn(k, id int) affine.Vector {
+	d := s.depths[k]
+	off := (id - s.NestFirst[k]) * d
+	return affine.Vector(s.arena[k][off : off+d : off+d])
+}
+
+// IterAt returns the Iteration view of global id.
+func (s *Space) IterAt(id int) Iteration {
+	k := s.Nest(id)
+	return Iteration{Nest: k, Iter: s.iterVecIn(k, id)}
 }
 
 // BuildSpace enumerates prog's iterations and compiles its references on
-// the calling goroutine — the serial reference path of BuildSpaceCtx.
+// the calling goroutine — the serial path of BuildSpaceOpts with the
+// default (compiled) engine.
 func BuildSpace(prog *sema.Program) (*Space, error) {
-	return BuildSpaceCtx(context.Background(), prog, 1)
+	return BuildSpaceOpts(context.Background(), prog, BuildOptions{Jobs: 1})
 }
 
-// BuildSpaceCtx enumerates prog's iterations and compiles its references,
-// fanning the per-nest enumeration out over at most jobs workers (0 =
+// BuildSpaceCtx is BuildSpaceOpts with the default (compiled) engine.
+func BuildSpaceCtx(ctx context.Context, prog *sema.Program, jobs int) (*Space, error) {
+	return BuildSpaceOpts(ctx, prog, BuildOptions{Jobs: jobs})
+}
+
+// BuildOptions configures BuildSpaceOpts.
+type BuildOptions struct {
+	// Jobs bounds the enumeration worker pool (0 = GOMAXPROCS, 1 = inline
+	// serial).
+	Jobs int
+	// Engine selects the execution engine the space is built for; the
+	// space's consumers (validation, dependence build, trace generation)
+	// honor it. The zero value is EngineCompiled.
+	Engine Engine
+	// Span, when non-nil, receives a "compile" child covering kernel
+	// lowering on the compiled engine.
+	Span *obs.Span
+}
+
+// BuildSpaceOpts enumerates prog's iterations and compiles its references,
+// fanning the per-nest enumeration out over at most opt.Jobs workers (0 =
 // GOMAXPROCS, 1 = inline serial). Each nest's slice of the space is
 // enumerated independently and stitched in nest order, so the result is
-// identical at every jobs value.
+// identical at every jobs value — and, by the engine-parity invariants, at
+// either engine.
 //
-// Each nest's iteration vectors are carved from one exactly-sized backing
-// array (counted by a first enumeration pass), so enumeration performs one
-// allocation per nest instead of one per iteration.
-func BuildSpaceCtx(ctx context.Context, prog *sema.Program, jobs int) (*Space, error) {
+// On the compiled engine the nests are lowered to iteration kernels first;
+// the exact per-nest volumes fall out of the lowering, so each nest's flat
+// iteration-vector arena is allocated at final size and run-filled. The
+// interp engine keeps the original two-pass tree-walk enumeration as the
+// reference oracle, writing the same arena representation.
+func BuildSpaceOpts(ctx context.Context, prog *sema.Program, opt BuildOptions) (*Space, error) {
 	s := &Space{
 		Prog:      prog,
 		NestFirst: make([]int, len(prog.Nests)),
+		arena:     make([][]int64, len(prog.Nests)),
+		depths:    make([]int, len(prog.Nests)),
 		refs:      make([][]compiledRef, len(prog.Nests)),
+		engine:    opt.Engine,
 	}
 	for i, n := range prog.Nests {
+		s.depths[i] = n.Depth()
 		crefs, err := compileNest(n)
 		if err != nil {
 			return nil, err
 		}
 		s.refs[i] = crefs
 	}
-	perNest := make([][]Iteration, len(prog.Nests))
+	if opt.Engine == EngineCompiled {
+		return s.buildCompiled(ctx, opt)
+	}
+	return s.buildInterp(ctx, opt.Jobs)
+}
+
+// buildCompiled lowers every nest to an iteration kernel, then run-fills
+// each nest's arena through the kernel's odometer: one exactly-sized
+// allocation per nest, no append growth, no per-iteration headers.
+func (s *Space) buildCompiled(ctx context.Context, opt BuildOptions) (*Space, error) {
+	sp := opt.Span.Child("compile")
+	s.kernels = make([]*kernel, len(s.Prog.Nests))
+	for i, n := range s.Prog.Nests {
+		s.kernels[i] = compileKernel(n)
+	}
+	sp.End()
+	total := 0
+	for i, k := range s.kernels {
+		s.NestFirst[i] = total
+		total += int(k.count)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("interp: program has no iterations")
+	}
+	s.total = total
+	err := conc.ForEach(ctx, len(s.kernels), opt.Jobs, func(_ context.Context, i int) error {
+		k := s.kernels[i]
+		if k.count == 0 {
+			return nil
+		}
+		flat := make([]int64, int(k.count)*k.depth)
+		k.enumerateInto(flat)
+		s.arena[i] = flat
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildInterp is the original tree-walk enumeration, kept as the reference
+// oracle: each nest is counted by a first enumeration pass and a second
+// tree-walk pass copies every iteration vector into the nest's arena.
+func (s *Space) buildInterp(ctx context.Context, jobs int) (*Space, error) {
+	prog := s.Prog
 	err := conc.ForEach(ctx, len(prog.Nests), jobs, func(_ context.Context, i int) error {
 		n := prog.Nests[i]
 		count := n.IterationCount()
@@ -103,30 +216,24 @@ func BuildSpaceCtx(ctx context.Context, prog *sema.Program, jobs int) (*Space, e
 		}
 		depth := n.Depth()
 		flat := make([]int64, 0, count*int64(depth))
-		iters := make([]Iteration, 0, count)
-		nestIdx := n.Index
 		n.ForEachIteration(func(iv affine.Vector) {
 			flat = append(flat, iv...)
-			iters = append(iters, Iteration{Nest: nestIdx, Iter: flat[len(flat)-depth:]})
 		})
-		perNest[i] = iters
+		s.arena[i] = flat
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	total := 0
-	for i := range perNest {
+	for i := range s.arena {
 		s.NestFirst[i] = total
-		total += len(perNest[i])
+		total += len(s.arena[i]) / s.depths[i]
 	}
 	if total == 0 {
 		return nil, fmt.Errorf("interp: program has no iterations")
 	}
-	s.Iters = make([]Iteration, 0, total)
-	for _, iters := range perNest {
-		s.Iters = append(s.Iters, iters...)
-	}
+	s.total = total
 	return s, nil
 }
 
@@ -174,15 +281,15 @@ func compileNest(n *sema.Nest) ([]compiledRef, error) {
 }
 
 // NumIterations returns the total number of iteration instances.
-func (s *Space) NumIterations() int { return len(s.Iters) }
+func (s *Space) NumIterations() int { return s.total }
 
 // Accesses appends the accesses of global iteration id to buf and returns
 // it. Accesses appear in statement order, with each statement's write
 // after its reads (an assignment reads its operands before storing).
 func (s *Space) Accesses(id int, buf []Access) []Access {
-	it := s.Iters[id]
-	iv := it.Iter
-	refs := s.refs[it.Nest]
+	k := s.Nest(id)
+	iv := s.iterVecIn(k, id)
+	refs := s.refs[k]
 	// refs are stored write-first per statement; reorder to reads-then-
 	// write per statement on the fly.
 	i := 0
@@ -237,8 +344,13 @@ type checkedRef struct {
 // exact program order). The set of detected violations is the same at any
 // jobs value; under parallel execution the reported violation is the
 // earliest one of the first finishing chunk rather than the globally
-// first.
+// first. On a compiled-engine space the subscripts are checked through
+// incremental stride updates instead of per-dimension re-evaluation; both
+// paths check references in the same order and format identical errors.
 func (s *Space) ValidateCtx(ctx context.Context, jobs int) error {
+	if s.engine == EngineCompiled {
+		return s.validateCompiled(ctx, jobs)
+	}
 	perNest := make([][]checkedRef, len(s.Prog.Nests))
 	maxRank := 0
 	for i, n := range s.Prog.Nests {
@@ -256,12 +368,12 @@ func (s *Space) ValidateCtx(ctx context.Context, jobs int) error {
 			}
 		}
 	}
-	chunks := conc.Chunks(len(s.Iters), chunkCount(len(s.Iters), jobs))
+	chunks := conc.Chunks(s.total, chunkCount(s.total, jobs))
 	errs := make([]error, len(chunks))
 	poolErr := conc.ForEach(ctx, len(chunks), jobs, func(_ context.Context, k int) error {
 		idx := make([]int64, maxRank)
 		for id := chunks[k][0]; id < chunks[k][1]; id++ {
-			it := s.Iters[id]
+			it := s.IterAt(id)
 			for _, cr := range perNest[it.Nest] {
 				sub := idx[:len(cr.subs)]
 				for d, e := range cr.subs {
@@ -317,7 +429,7 @@ type elemState struct {
 // dependence graph. Same-iteration accesses never create edges (the
 // iteration is the atomic scheduling unit).
 func (s *Space) BuildDeps() *DepGraph {
-	n := len(s.Iters)
+	n := s.total
 	g := &DepGraph{
 		Preds: make([][]int32, n),
 		Succs: make([][]int32, n),
@@ -341,9 +453,10 @@ func (s *Space) BuildDeps() *DepGraph {
 		}
 		g.Preds[to] = append(g.Preds[to], from)
 	}
+	str := s.NewStreamer()
 	var buf []Access
 	for u := 0; u < n; u++ {
-		buf = s.Accesses(u, buf[:0])
+		buf = str.Accesses(u, buf[:0])
 		for _, a := range buf {
 			st := stateOf(a.Array)
 			es := &st[a.Lin]
@@ -414,7 +527,7 @@ func (s *Space) BuildDepsCtx(ctx context.Context, jobs int) (*DepGraph, error) {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	n := len(s.Iters)
+	n := s.total
 	if jobs == 1 || n < depCrossover {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -425,15 +538,23 @@ func (s *Space) BuildDepsCtx(ctx context.Context, jobs int) (*DepGraph, error) {
 	// Stage 1: bucket every access by array, preserving global replay
 	// order, on chunked workers. Chunk k's buckets hold the accesses of
 	// iterations [lo_k, hi_k), so concatenating a bucket row across chunks
-	// yields that array's full stream in program order.
+	// yields that array's full stream in program order. Per-iteration
+	// access counts are fixed per nest, so every bucket is allocated at
+	// its exact final size up front.
 	numArrays := len(s.Prog.Arrays)
 	chunks := conc.Chunks(n, chunkCount(n, jobs))
 	buckets := make([][][]accessRec, len(chunks))
 	err := conc.ForEach(ctx, len(chunks), jobs, func(_ context.Context, k int) error {
 		bk := make([][]accessRec, numArrays)
+		for ai, sz := range s.bucketSizes(chunks[k][0], chunks[k][1]) {
+			if sz > 0 {
+				bk[ai] = make([]accessRec, 0, sz)
+			}
+		}
+		str := s.NewStreamer()
 		var buf []Access
 		for u := chunks[k][0]; u < chunks[k][1]; u++ {
-			buf = s.Accesses(u, buf[:0])
+			buf = str.Accesses(u, buf[:0])
 			for _, a := range buf {
 				ai := a.Array.Index
 				bk[ai] = append(bk[ai], accessRec{lin: a.Lin, u: int32(u), write: a.Write})
@@ -581,7 +702,7 @@ func replayArray(a *sema.Array, stream []accessRec) []edge {
 	for _, rec := range stream {
 		es := &st[rec.lin]
 		if rec.write {
-			add(es.lastWriter, rec.u) // output
+			add(es.lastWriter, rec.u)      // output
 			for _, r := range es.readers { // anti
 				add(r, rec.u)
 			}
@@ -601,7 +722,7 @@ func replayArray(a *sema.Array, stream []accessRec) []edge {
 // every iteration exactly once and respects every dependence edge. It is
 // the correctness oracle for the restructuring transformations.
 func (s *Space) VerifySchedule(g *DepGraph, order []int) error {
-	n := len(s.Iters)
+	n := s.total
 	if len(order) != n {
 		return fmt.Errorf("interp: schedule has %d entries, want %d", len(order), n)
 	}
@@ -621,7 +742,7 @@ func (s *Space) VerifySchedule(g *DepGraph, order []int) error {
 		for _, p := range g.Preds[u] {
 			if pos[p] >= pos[u] {
 				return fmt.Errorf("interp: dependence violated: %s must precede %s",
-					s.Iters[p], s.Iters[u])
+					s.IterAt(int(p)), s.IterAt(u))
 			}
 		}
 	}

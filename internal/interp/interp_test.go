@@ -42,11 +42,11 @@ nest L2 { for i = 0 to 2 { read A[i]; } }
 	if s.NestFirst[0] != 0 || s.NestFirst[1] != 5 {
 		t.Errorf("NestFirst = %v", s.NestFirst)
 	}
-	if s.Iters[6].Nest != 1 || s.Iters[6].Iter[0] != 1 {
-		t.Errorf("iter 6 = %v", s.Iters[6])
+	if it := s.IterAt(6); it.Nest != 1 || it.Iter[0] != 1 {
+		t.Errorf("iter 6 = %v", it)
 	}
-	if s.Iters[6].String() != "N1(1)" {
-		t.Errorf("String = %q", s.Iters[6].String())
+	if s.IterAt(6).String() != "N1(1)" {
+		t.Errorf("String = %q", s.IterAt(6).String())
 	}
 }
 
@@ -63,8 +63,8 @@ nest L {
 `)
 	// Iteration (1,2): write A[1][2] = lin 8; read A[2][3] = lin 15.
 	var id int
-	for k, it := range s.Iters {
-		if it.Iter[0] == 1 && it.Iter[1] == 2 {
+	for k := 0; k < s.NumIterations(); k++ {
+		if iv := s.IterVec(k); iv[0] == 1 && iv[1] == 2 {
 			id = k
 		}
 	}

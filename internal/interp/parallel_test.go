@@ -118,7 +118,7 @@ func TestParallelSpaceAndValidateMatchSerial(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trial %d jobs %d: BuildSpaceCtx: %v", trial, jobs, err)
 			}
-			if !reflect.DeepEqual(want.Iters, got.Iters) ||
+			if !reflect.DeepEqual(want.arena, got.arena) ||
 				!reflect.DeepEqual(want.NestFirst, got.NestFirst) {
 				t.Fatalf("trial %d jobs %d: parallel space differs from serial\nsource:\n%s",
 					trial, jobs, src)

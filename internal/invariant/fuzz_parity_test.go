@@ -1,0 +1,28 @@
+package invariant
+
+import (
+	"testing"
+
+	"diskreuse/internal/drlgen"
+)
+
+// FuzzEngineParity drives fuzzer-chosen programs through the analysis
+// front end under both execution engines and requires bit-identical
+// outputs at every stage (CheckEngineParity). It is the adversarial leg of
+// invariant family 6: FuzzPipeline exercises parity too (Check runs the
+// family), but this target skips the simulator so the fuzzer spends its
+// budget on the engine boundary — odometer carries, triangular bounds,
+// stride deltas, page-table arithmetic. Violations replay with
+// `dpcc -fuzz-case <corpus file>`, which runs the full Check including
+// this family.
+func FuzzEngineParity(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("triangular bounds and carry chains"))
+	f.Add([]byte{0x00, 0xff, 0x42, 0x13, 0x37, 0x9c, 0x6b, 0xd4, 0x21, 0x08})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := drlgen.FromBytes(data, PipelineFuzzConfig)
+		if err := CheckEngineParity(c.Source, 4); err != nil {
+			t.Fatalf("engine parity violated: %v\nsource:\n%s", err, c.Source)
+		}
+	})
+}

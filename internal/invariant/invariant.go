@@ -1,7 +1,7 @@
 // Package invariant is the correctness harness for the whole pipeline: it
 // runs a DRL program (typically produced by internal/drlgen) through
 // compile → restructure → trace generation → simulation and asserts the
-// load-bearing properties end to end, in five families:
+// load-bearing properties end to end, in six families:
 //
 //  1. Legality — the disk-reuse schedule is a permutation of the iteration
 //     space and passes interp.Space.VerifySchedule.
@@ -16,6 +16,10 @@
 //     the NoPM baseline only through the accounted channels
 //     (CheckSimRun, CheckPolicyDominance).
 //  5. Determinism — every stage is bit-identical at Jobs=1 and Jobs=N.
+//  6. Engine parity — the stride-compiled execution engine and the
+//     tree-walk oracle produce bit-identical iteration spaces, dependence
+//     graphs, disk attributions, schedules, and request traces, at Jobs=1
+//     and Jobs=N (CheckEngineParity).
 //
 // These are exactly the assumptions the paper's claims rest on (§5 legality
 // of the Fig. 3 reordering, §7 fidelity of the energy accounting), turned
@@ -30,6 +34,7 @@ import (
 	"diskreuse/internal/core"
 	"diskreuse/internal/disk"
 	"diskreuse/internal/drlgen"
+	"diskreuse/internal/interp"
 	"diskreuse/internal/layout"
 	"diskreuse/internal/parser"
 	"diskreuse/internal/sema"
@@ -125,6 +130,12 @@ func Check(src string, opt Options) (*Report, error) {
 		if !reflect.DeepEqual(r1.TouchedDisks(id), rN.TouchedDisks(id)) {
 			return nil, fmt.Errorf("determinism: touched disks of iteration %d differ between Jobs=1 and Jobs=%d", id, opt.Jobs)
 		}
+	}
+
+	// Family 6: the compiled engine and the tree-walk oracle must agree
+	// bit for bit on everything downstream of the front end.
+	if err := checkEngineParity(prog, lay, opt.ComputePerIter, opt.Jobs); err != nil {
+		return nil, err
 	}
 
 	orig := r1.OriginalSchedule()
@@ -264,6 +275,113 @@ func Check(src string, opt Options) (*Report, error) {
 	}
 	rep.BaseEnergyOriginal = origRes.Energy
 	return rep, nil
+}
+
+// CheckEngineParity parses src and asserts the engine-parity family alone:
+// the stride-compiled engine and the tree-walk oracle produce bit-identical
+// iteration spaces, dependence graphs, disk attributions, disk-reuse
+// schedules, and generated request traces, at Jobs=1 and Jobs=jobs (values
+// < 1 select 8). It is the cheap core of family 6, exposed separately so
+// the FuzzEngineParity target can hammer it without paying for the
+// simulator legs of Check.
+func CheckEngineParity(src string, jobs int) error {
+	if jobs < 1 {
+		jobs = 8
+	}
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	prog, err := sema.Analyze(astProg, sema.Options{})
+	if err != nil {
+		return fmt.Errorf("sema: %w", err)
+	}
+	lay, err := layout.New(prog, 0)
+	if err != nil {
+		return fmt.Errorf("layout: %w", err)
+	}
+	return checkEngineParity(prog, lay, 1e-3, jobs)
+}
+
+// sameSpace reports whether two spaces enumerate the identical iteration
+// sequence: same nest boundaries and, for every global id, the same nest
+// and iteration vector.
+func sameSpace(a, b *interp.Space) bool {
+	if a.NumIterations() != b.NumIterations() ||
+		!reflect.DeepEqual(a.NestFirst, b.NestFirst) {
+		return false
+	}
+	for id := 0; id < a.NumIterations(); id++ {
+		if a.Nest(id) != b.Nest(id) ||
+			!reflect.DeepEqual(a.IterVec(id), b.IterVec(id)) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkEngineParity runs the analysis front end under both engines at
+// Jobs=1 and Jobs=jobs and requires bit-identical outputs at every stage:
+// Space (iteration arenas and NestFirst), DepGraph, per-iteration disk
+// attribution, the Fig. 3 schedule, and the program-order and restructured
+// request traces under both coalescing models.
+func checkEngineParity(prog *sema.Program, lay *layout.Layout, computePerIter float64, jobs int) error {
+	ctx := context.Background()
+	for _, j := range []int{1, jobs} {
+		rC, err := core.NewCtx(ctx, prog, lay, core.Options{Jobs: j, Engine: interp.EngineCompiled})
+		if err != nil {
+			return fmt.Errorf("engine parity: compiled engine (jobs=%d): %w", j, err)
+		}
+		rI, err := core.NewCtx(ctx, prog, lay, core.Options{Jobs: j, Engine: interp.EngineInterp})
+		if err != nil {
+			return fmt.Errorf("engine parity: interp engine (jobs=%d): %w", j, err)
+		}
+		if !sameSpace(rC.Space, rI.Space) {
+			return fmt.Errorf("engine parity: iteration space differs between engines (jobs=%d)", j)
+		}
+		if !reflect.DeepEqual(rC.Graph, rI.Graph) {
+			return fmt.Errorf("engine parity: dependence graph differs between engines (jobs=%d)", j)
+		}
+		for id := 0; id < rC.Space.NumIterations(); id++ {
+			if rC.PrimaryDisk(id) != rI.PrimaryDisk(id) ||
+				!reflect.DeepEqual(rC.TouchedDisks(id), rI.TouchedDisks(id)) {
+				return fmt.Errorf("engine parity: disk attribution of iteration %d differs between engines (jobs=%d)", id, j)
+			}
+		}
+		schedC, err := rC.DiskReuseSchedule()
+		if err != nil {
+			return fmt.Errorf("engine parity: schedule (compiled, jobs=%d): %w", j, err)
+		}
+		schedI, err := rI.DiskReuseSchedule()
+		if err != nil {
+			return fmt.Errorf("engine parity: schedule (interp, jobs=%d): %w", j, err)
+		}
+		if !reflect.DeepEqual(schedC.Order, schedI.Order) || !reflect.DeepEqual(schedC.Disk, schedI.Disk) {
+			return fmt.Errorf("engine parity: disk-reuse schedule differs between engines (jobs=%d)", j)
+		}
+		for _, gcfg := range []trace.GenConfig{
+			{ComputePerIter: computePerIter},
+			{ComputePerIter: computePerIter, Coalesce: trace.LRU, CachePages: 8},
+		} {
+			for name, sched := range map[string]*core.Schedule{
+				"original":     rC.OriginalSchedule(),
+				"restructured": schedC,
+			} {
+				reqC, err := trace.Generate(rC, trace.SinglePhase(sched), gcfg)
+				if err != nil {
+					return fmt.Errorf("engine parity: trace (compiled, %s, jobs=%d): %w", name, j, err)
+				}
+				reqI, err := trace.Generate(rI, trace.SinglePhase(sched), gcfg)
+				if err != nil {
+					return fmt.Errorf("engine parity: trace (interp, %s, jobs=%d): %w", name, j, err)
+				}
+				if !reflect.DeepEqual(reqC, reqI) {
+					return fmt.Errorf("engine parity: %s-order trace differs between engines (coalesce=%v, jobs=%d)", name, gcfg.Coalesce, j)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // runRecorded replays a prepared trace under one policy with interval

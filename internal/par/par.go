@@ -71,12 +71,12 @@ func (a *Assignment) Imbalance() float64 {
 // crosses processors — the legality condition of the barrier-between-nests
 // execution model.
 func (a *Assignment) CheckIntraNest(r *core.Restructurer) error {
-	iters := r.Space.Iters
+	space := r.Space
 	for u := range r.Graph.Preds {
 		for _, p := range r.Graph.Preds[u] {
-			if iters[u].Nest == iters[p].Nest && a.Owner[u] != a.Owner[int(p)] {
+			if space.Nest(u) == space.Nest(int(p)) && a.Owner[u] != a.Owner[int(p)] {
 				return fmt.Errorf("par: intra-nest dependence %v -> %v crosses processors %d -> %d",
-					iters[p], iters[u], a.Owner[p], a.Owner[u])
+					space.IterAt(int(p)), space.IterAt(u), a.Owner[p], a.Owner[u])
 			}
 		}
 	}
@@ -153,7 +153,8 @@ func LoopParallelize(r *core.Restructurer, procs int) (*Assignment, error) {
 		}
 		ranges[k] = ivs[n.Loops[lvl].Var]
 	}
-	for id, it := range r.Space.Iters {
+	for id := 0; id < r.Space.NumIterations(); id++ {
+		it := r.Space.IterAt(id)
 		lvl := levels[it.Nest]
 		if lvl < 0 {
 			a.Owner[id] = 0
@@ -298,7 +299,8 @@ func DataSpacePartition(r *core.Restructurer, procs int) (*Assignment, error) {
 		}
 	}
 
-	for id, it := range r.Space.Iters {
+	for id := 0; id < r.Space.NumIterations(); id++ {
+		it := r.Space.IterAt(id)
 		plan := plans[it.Nest]
 		if !plan.usable {
 			continue
@@ -329,20 +331,20 @@ func DataSpacePartition(r *core.Restructurer, procs int) (*Assignment, error) {
 // repairIllegalNests reverts nests whose data-space assignment breaks an
 // intra-nest dependence back to their loop-parallelized owners.
 func (a *Assignment) repairIllegalNests(r *core.Restructurer, base *Assignment) error {
-	iters := r.Space.Iters
+	space := r.Space
 	bad := map[int]bool{}
 	for u := range r.Graph.Preds {
 		for _, p := range r.Graph.Preds[u] {
-			if iters[u].Nest == iters[p].Nest && a.Owner[u] != a.Owner[int(p)] {
-				bad[iters[u].Nest] = true
+			if nu := space.Nest(u); nu == space.Nest(int(p)) && a.Owner[u] != a.Owner[int(p)] {
+				bad[nu] = true
 			}
 		}
 	}
 	if len(bad) == 0 {
 		return nil
 	}
-	for id, it := range iters {
-		if bad[it.Nest] {
+	for id := 0; id < space.NumIterations(); id++ {
+		if bad[space.Nest(id)] {
 			a.Owner[id] = base.Owner[id]
 		}
 	}

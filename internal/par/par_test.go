@@ -105,7 +105,7 @@ func TestLayoutAwareAlignsDataRegions(t *testing.T) {
 	l1start := r.Space.NestFirst[0] // L1 (0,0)
 	l2 := -1
 	for id := r.Space.NestFirst[1]; id < r.Space.NestFirst[2]; id++ {
-		it := r.Space.Iters[id]
+		it := r.Space.IterAt(id)
 		if it.Iter[0] == 63 && it.Iter[1] == 0 {
 			l2 = id
 		}

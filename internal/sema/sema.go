@@ -173,23 +173,24 @@ func (n *Nest) Env(iv affine.Vector) map[string]int64 {
 	return env
 }
 
-// loopBounds is one loop level's bounds compiled against the nest's
+// LoopBound is one loop level's bounds compiled against the nest's
 // iterator order, so enumeration evaluates them straight off the iteration
-// vector with no per-iteration map.
-type loopBounds struct {
-	lo, hi affine.VecExpr
-	step   int64
+// vector with no per-iteration map. Bounds at level l only mention
+// enclosing iterators, so Lo/Hi evaluate against iv[:l] of any iteration
+// vector of the nest.
+type LoopBound struct {
+	Lo, Hi affine.VecExpr
+	Step   int64
 }
 
-// boundLoops compiles every loop level's bounds against the nest's
-// iterator order (affine.VecExpr). Bounds at level l only mention
-// enclosing iterators, so they evaluate against iv[:l] of any iteration
-// vector of the nest.
-func (n *Nest) boundLoops() []loopBounds {
-	bs := make([]loopBounds, len(n.Loops))
+// Bounds compiles every loop level's bounds against the nest's iterator
+// order (affine.VecExpr). It is the lowered form both the tree-walk
+// enumerator below and interp's compiled iteration kernels consume.
+func (n *Nest) Bounds() []LoopBound {
+	bs := make([]LoopBound, len(n.Loops))
 	vars := n.Iterators()
 	for i, l := range n.Loops {
-		bs[i] = loopBounds{lo: l.Lo.MustBind(vars), hi: l.Hi.MustBind(vars), step: l.Step}
+		bs[i] = LoopBound{Lo: l.Lo.MustBind(vars), Hi: l.Hi.MustBind(vars), Step: l.Step}
 	}
 	return bs
 }
@@ -199,18 +200,18 @@ func (n *Nest) boundLoops() []loopBounds {
 // vector passed to fn is reused across calls; fn must copy it to retain it.
 func (n *Nest) ForEachIteration(fn func(iv affine.Vector)) {
 	iv := make(affine.Vector, len(n.Loops))
-	enumerate(0, iv, n.boundLoops(), fn)
+	enumerate(0, iv, n.Bounds(), fn)
 }
 
-func enumerate(level int, iv affine.Vector, bounds []loopBounds, fn func(affine.Vector)) {
+func enumerate(level int, iv affine.Vector, bounds []LoopBound, fn func(affine.Vector)) {
 	if level == len(bounds) {
 		fn(iv)
 		return
 	}
 	b := bounds[level]
-	lo := b.lo.EvalVec(iv)
-	hi := b.hi.EvalVec(iv)
-	for v := lo; v <= hi; v += b.step {
+	lo := b.Lo.EvalVec(iv)
+	hi := b.Hi.EvalVec(iv)
+	for v := lo; v <= hi; v += b.Step {
 		iv[level] = v
 		enumerate(level+1, iv, bounds, fn)
 	}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"math/bits"
 
 	"diskreuse/internal/core"
 	"diskreuse/internal/interp"
@@ -131,6 +132,12 @@ func (c *pageCache) pushFront(n *lruNode) {
 // blocks on a read), and each finished iteration advances it by the
 // compute time. Clocks synchronize to the barrier (max of all clocks)
 // between phases. The returned requests are sorted by arrival time.
+//
+// The page-coalescing loop honors the engine the space was built with: on
+// the compiled engine each iteration's linear indices come off the
+// Streamer's stride tables and pages off precomputed per-array tables; on
+// the interp engine the original per-access Accesses/ElemPage loop runs as
+// the reference oracle. Both produce bit-identical request traces.
 func Generate(r *core.Restructurer, phases []Phase, cfg GenConfig) ([]Request, error) {
 	if cfg.CachePages <= 0 {
 		cfg.CachePages = DefaultCachePages
@@ -147,6 +154,16 @@ func Generate(r *core.Restructurer, phases []Phase, cfg GenConfig) ([]Request, e
 	if procs == 0 {
 		return nil, fmt.Errorf("trace: no processors in phases")
 	}
+	if r.Space.Engine() == interp.EngineCompiled {
+		return generateCompiled(r, phases, cfg, procs)
+	}
+	return generateInterp(r, phases, cfg, procs)
+}
+
+// generateInterp is the tree-walk oracle path of Generate, kept verbatim:
+// per-access affine re-evaluation via Space.Accesses and page lookup via
+// Layout.ElemPage.
+func generateInterp(r *core.Restructurer, phases []Phase, cfg GenConfig, procs int) ([]Request, error) {
 	clocks := make([]float64, procs)
 	caches := make([]*pageCache, procs)
 	touched := make([]map[touchKey]bool, procs)
@@ -182,7 +199,7 @@ func Generate(r *core.Restructurer, phases []Phase, cfg GenConfig) ([]Request, e
 					return nil, fmt.Errorf("trace: iteration %d appears twice", id)
 				}
 				seen[id] = true
-				nest := r.Space.Iters[id].Nest
+				nest := r.Space.Nest(id)
 				buf = r.Space.Accesses(id, buf[:0])
 				for _, a := range buf {
 					page, err := r.Layout.ElemPage(a.Array, a.Lin)
@@ -197,6 +214,154 @@ func Generate(r *core.Restructurer, phases []Phase, cfg GenConfig) ([]Request, e
 						Block:   page,
 						Size:    r.Layout.PageSize,
 						Write:   a.Write,
+						Proc:    p,
+					})
+					clocks[p] += cfg.ServiceEstimate
+				}
+				clocks[p] += cfg.ComputePerIter
+			}
+		}
+		// Barrier: everyone waits for the slowest processor.
+		maxClock := 0.0
+		for _, c := range clocks {
+			if c > maxClock {
+				maxClock = c
+			}
+		}
+		for p := range clocks {
+			clocks[p] = maxClock
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("trace: iteration %d never executed", id)
+		}
+	}
+	SortByArrival(reqs)
+	return reqs, nil
+}
+
+// touchTableMax caps the flat first-touch table at 16 MiB per processor;
+// larger page spaces fall back to per-nest maps (same absorb semantics,
+// so the emitted trace is identical either way).
+const touchTableMax = 1 << 24
+
+// generateCompiled is the stride-compiled path of Generate. Linear element
+// indices stream off the Space's compiled kernels (O(1) updates between
+// consecutive iterations of a processor's order), and the page of element
+// lin of array a is pageBase[a] + lin/elemsPerPage[a] — exact because the
+// layout aligns every extent base to the stripe unit (a multiple of the
+// page size) and requires the element size to divide the page size. When
+// elements-per-page is a power of two the division is a shift.
+// First-touch coalescing uses one flat byte of read/write bits per
+// (processor, nest, page) — the same (nest, page, write) first-touch unit
+// as the oracle's map, minus the hashing — with a map fallback for page
+// spaces too large to table.
+func generateCompiled(r *core.Restructurer, phases []Phase, cfg GenConfig, procs int) ([]Request, error) {
+	numArrays := len(r.Space.Prog.Arrays)
+	numNests := len(r.Space.Prog.Nests)
+	pageBase := make([]int64, numArrays)
+	elemsPerPage := make([]int64, numArrays)
+	pageShift := make([]int, numArrays)
+	elems := make([]int64, numArrays)
+	for _, ext := range r.Layout.Extents {
+		a := ext.Array
+		epp := r.Layout.PageSize / a.ElemSize
+		pageBase[a.Index] = ext.Base / r.Layout.PageSize
+		elemsPerPage[a.Index] = epp
+		pageShift[a.Index] = -1
+		if epp&(epp-1) == 0 {
+			pageShift[a.Index] = bits.TrailingZeros64(uint64(epp))
+		}
+		elems[a.Index] = a.Elems()
+	}
+	clocks := make([]float64, procs)
+	caches := make([]*pageCache, procs)
+	// Flat table: touched[p][nest*maxPage+page] holds touch bits (1 = read
+	// seen, 2 = write seen). Allocated lazily per processor.
+	maxPage := (r.Layout.TotalBytes() + r.Layout.PageSize - 1) / r.Layout.PageSize
+	tableLen := int64(numNests) * maxPage
+	useTable := tableLen > 0 && tableLen <= touchTableMax
+	touched := make([][]uint8, procs)
+	touchedMaps := make([][]map[int64]uint8, procs)
+	for p := range caches {
+		caches[p] = newPageCache(cfg.CachePages)
+		if !useTable {
+			touchedMaps[p] = make([]map[int64]uint8, numNests)
+		}
+	}
+
+	// Every access emits at most one request, so AccessCount caps the
+	// request count; pre-sizing (bounded) avoids append-growth copies of
+	// the hot output slice.
+	reqs := make([]Request, 0, min(r.Space.AccessCount(), 1<<20))
+	str := r.Space.NewStreamer()
+	seen := make([]bool, r.Space.NumIterations())
+	for _, ph := range phases {
+		for p, order := range ph.PerProc {
+			tf := touched[p]
+			if useTable && cfg.Coalesce != LRU && tf == nil {
+				tf = make([]uint8, tableLen)
+				touched[p] = tf
+			}
+			for _, id := range order {
+				if id < 0 || id >= len(seen) {
+					return nil, fmt.Errorf("trace: iteration id %d out of range", id)
+				}
+				if seen[id] {
+					return nil, fmt.Errorf("trace: iteration %d appears twice", id)
+				}
+				seen[id] = true
+				refs, vals := str.Step(id)
+				nest := str.Nest()
+				nestOff := int64(nest) * maxPage
+				for j := range refs {
+					lin := vals[j]
+					ai := refs[j].ArrIdx
+					if lin < 0 || lin >= elems[ai] {
+						// Out of range: route through the oracle's lookup so
+						// the error matches ElemPage's exactly.
+						_, err := r.Layout.ElemPage(refs[j].Arr, lin)
+						return nil, err
+					}
+					var page int64
+					if sh := pageShift[ai]; sh >= 0 {
+						page = pageBase[ai] + lin>>uint(sh)
+					} else {
+						page = pageBase[ai] + lin/elemsPerPage[ai]
+					}
+					write := refs[j].Write
+					if cfg.Coalesce == LRU {
+						if caches[p].touch(page) {
+							continue
+						}
+					} else {
+						bit := uint8(1)
+						if write {
+							bit = 2
+						}
+						if useTable {
+							if tf[nestOff+page]&bit != 0 {
+								continue
+							}
+							tf[nestOff+page] |= bit
+						} else {
+							tm := touchedMaps[p][nest]
+							if tm == nil {
+								tm = map[int64]uint8{}
+								touchedMaps[p][nest] = tm
+							}
+							if tm[page]&bit != 0 {
+								continue
+							}
+							tm[page] |= bit
+						}
+					}
+					reqs = append(reqs, Request{
+						Arrival: clocks[p],
+						Block:   page,
+						Size:    r.Layout.PageSize,
+						Write:   write,
 						Proc:    p,
 					})
 					clocks[p] += cfg.ServiceEstimate
@@ -265,13 +430,13 @@ func VerifyPhases(space *interp.Space, g *interp.DepGraph, phases []Phase) error
 			case phaseOf[u] < phaseOf[v]:
 			case phaseOf[u] > phaseOf[v]:
 				return fmt.Errorf("trace: dependence %v -> %v runs backwards across phases",
-					space.Iters[u], space.Iters[v])
+					space.IterAt(u), space.IterAt(v))
 			case procOf[u] != procOf[v]:
 				return fmt.Errorf("trace: dependence %v -> %v crosses processors %d/%d within a phase",
-					space.Iters[u], space.Iters[v], procOf[u], procOf[v])
+					space.IterAt(u), space.IterAt(v), procOf[u], procOf[v])
 			case posOf[u] >= posOf[v]:
 				return fmt.Errorf("trace: dependence %v -> %v out of order on processor %d",
-					space.Iters[u], space.Iters[v], procOf[u])
+					space.IterAt(u), space.IterAt(v), procOf[u])
 			}
 		}
 	}
@@ -290,7 +455,7 @@ func NestPhases(space *interp.Space, perProcOrders [][]int, numNests int) []Phas
 	}
 	for p, order := range perProcOrders {
 		for _, id := range order {
-			k := space.Iters[id].Nest
+			k := space.Nest(id)
 			phases[k].PerProc[p] = append(phases[k].PerProc[p], id)
 		}
 	}

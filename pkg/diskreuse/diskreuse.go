@@ -242,7 +242,7 @@ func (s *System) phases(restructured bool, procs int) ([]trace.Phase, error) {
 	for p, sub := range asg.Subsets() {
 		byNest := make([][]int, numNests)
 		for _, id := range sub {
-			k := s.r.Space.Iters[id].Nest
+			k := s.r.Space.Nest(id)
 			byNest[k] = append(byNest[k], id)
 		}
 		for _, group := range byNest {
