@@ -15,6 +15,7 @@
 //	dpcbench -report text         # energy/idle-locality/stage-timing report
 //	dpcbench -all -trace-out trace.json    # Chrome trace of the pipeline (Perfetto)
 //	dpcbench -all -cpuprofile cpu.pprof -memprofile mem.pprof
+//	dpcbench -scale 10000000 -tenants 8    # multi-tenant out-of-core streaming benchmark
 //
 // The evaluation grid (app × version × procs) is embarrassingly parallel;
 // -jobs bounds the worker pool (0 = GOMAXPROCS) and reaches every layer:
@@ -47,6 +48,9 @@ type options struct {
 	size                    string
 	procs, jobs             int
 	engine                  string
+	// stream replays the suite's simulations through the out-of-core
+	// streaming path (bit-identical results; exercises the reducers).
+	stream bool
 	csvPath, jsonPath       string
 	// report renders the observability report (per-app × per-version
 	// energy/degradation/idle-locality rows plus stage timings) to stdout
@@ -56,6 +60,9 @@ type options struct {
 	traceOut string
 	// cpuProfile/memProfile are the stdlib pprof outputs.
 	cpuProfile, memProfile string
+	// scale selects the multi-tenant out-of-core streaming benchmark
+	// instead of the paper suite (see scale.go).
+	scale scaleOptions
 }
 
 func main() {
@@ -68,12 +75,19 @@ func main() {
 	flag.IntVar(&o.procs, "procs", 4, "processor count for the (b) figures")
 	flag.IntVar(&o.jobs, "jobs", 0, "max concurrent pipeline cells (0 = GOMAXPROCS, 1 = serial)")
 	flag.StringVar(&o.engine, "engine", "compiled", "front-end execution engine: compiled (stride-compiled kernels) or interp (tree-walk oracle)")
+	flag.BoolVar(&o.stream, "stream", false, "replay the suite through the out-of-core streaming simulator path (results are bit-identical to the in-memory replay)")
 	flag.StringVar(&o.csvPath, "csv", "", "also write the suite results in CSV long form to this file")
 	flag.StringVar(&o.jsonPath, "json", "", "also write the suite's normalized-energy and degradation metrics as JSON to this file (e.g. BENCH_suite.json)")
 	flag.StringVar(&o.report, "report", "", "render the energy/idle-locality/stage-timing report to stdout: text, json, or csv")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write pipeline spans as Chrome trace_event JSON to this file (load in Perfetto)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
+	flag.Int64Var(&o.scale.requests, "scale", 0, "run the multi-tenant streaming benchmark with this many total requests (synthesized to the binary trace format and replayed out of core)")
+	flag.IntVar(&o.scale.tenants, "tenants", 8, "tenant (processor) count for -scale")
+	flag.IntVar(&o.scale.disks, "scale-disks", 0, "disk count for -scale (0 = synthesizer default)")
+	flag.StringVar(&o.scale.file, "scale-file", "", "keep the synthesized binary trace at this path (default: a temp file, removed)")
+	flag.Int64Var(&o.scale.maxHeap, "scale-maxheap", 0, "fail the -scale run if the peak heap (runtime HeapSys) exceeds this many bytes")
+	flag.Int64Var(&o.scale.seed, "scale-seed", 1, "workload seed for -scale")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dpcbench:", err)
@@ -107,6 +121,9 @@ func run(o options) (err error) {
 			err = perr
 		}
 	}()
+	if o.scale.requests > 0 {
+		return runScale(o.scale, o.jobs)
+	}
 	engine, err := interp.ParseEngine(o.engine)
 	if err != nil {
 		return err
@@ -127,12 +144,12 @@ func run(o options) (err error) {
 	needN := all || figure == "9b" || figure == "10b" ||
 		o.csvPath != "" || o.jsonPath != "" || o.report != ""
 	if need1 {
-		if suite1, err = exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: o.jobs, Engine: engine, Tracer: tr}); err != nil {
+		if suite1, err = exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: o.jobs, Engine: engine, Tracer: tr, Stream: o.stream}); err != nil {
 			return err
 		}
 	}
 	if needN {
-		if suiteN, err = exp.RunSuite(exp.Options{Size: size, Procs: o.procs, Jobs: o.jobs, Engine: engine, Tracer: tr}); err != nil {
+		if suiteN, err = exp.RunSuite(exp.Options{Size: size, Procs: o.procs, Jobs: o.jobs, Engine: engine, Tracer: tr, Stream: o.stream}); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"diskreuse/internal/disk"
+	"diskreuse/internal/obs"
+	"diskreuse/internal/sim"
+	"diskreuse/internal/trace"
+)
+
+// scaleOptions parameterizes the -scale benchmark: a multi-tenant merged
+// workload synthesized straight to the chunked binary trace format and
+// replayed through the out-of-core streaming simulator under each policy.
+// This is the regime the in-memory paper pipeline cannot reach — the
+// request count is bounded by disk space, not RAM.
+type scaleOptions struct {
+	requests int64  // -scale: total requests across tenants
+	tenants  int    // -tenants
+	disks    int    // -scale-disks (0 = synthesizer default)
+	file     string // -scale-file: keep the binary trace here (default: temp)
+	maxHeap  int64  // -scale-maxheap: fail if HeapSys exceeds this many bytes
+	seed     int64  // -scale-seed
+}
+
+// runScale synthesizes the workload, replays it under NoPM/TPM/DRPM with
+// per-tenant energy attribution, and reports throughput, energy, and the
+// peak heap footprint. The trace is written once and each policy streams
+// it from disk with a fresh reader, so peak memory stays at one decode
+// chunk plus per-disk simulator state regardless of -scale.
+func runScale(s scaleOptions, jobs int) error {
+	path := s.file
+	if path == "" {
+		path = filepath.Join(os.TempDir(), fmt.Sprintf("dpcbench-scale-%d.dpct", os.Getpid()))
+		defer os.Remove(path)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	hdr, err := trace.WriteSynthetic(f, trace.SynthConfig{
+		Tenants:  s.tenants,
+		Requests: s.requests,
+		NumDisks: s.disks,
+		Seed:     s.seed,
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	synthSecs := time.Since(start).Seconds()
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Scale workload: %d requests, %d tenants, %d disks\n",
+		hdr.NumRequests, hdr.NumProcs, hdr.NumDisks)
+	fmt.Printf("  synthesized %s (%.2f B/req) in %.2fs (%.2f Mreq/s)\n",
+		fmtBytes(fi.Size()), float64(fi.Size())/float64(hdr.NumRequests),
+		synthSecs, float64(hdr.NumRequests)/synthSecs/1e6)
+
+	model := disk.Ultrastar36Z15()
+	diskOf := trace.SynthDiskOf(hdr.NumDisks)
+	policies := []sim.Policy{sim.NoPM, sim.TPM, sim.DRPM}
+	results := make([]*sim.Result, len(policies))
+	attrs := make([]*obs.ProcAttribution, len(policies))
+	var peakHeap uint64
+	for i, p := range policies {
+		rf, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rd, err := trace.NewReader(rf)
+		if err != nil {
+			rf.Close()
+			return err
+		}
+		attr := obs.NewProcAttribution(hdr.NumDisks, hdr.NumProcs)
+		start := time.Now()
+		res, err := sim.RunStream(rd, diskOf, sim.Config{
+			Model:       model,
+			NumDisks:    hdr.NumDisks,
+			Policy:      p,
+			Jobs:        jobs,
+			Attribution: attr,
+		})
+		secs := time.Since(start).Seconds()
+		rd.Close()
+		if cerr := rf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapSys > peakHeap {
+			peakHeap = ms.HeapSys
+		}
+		results[i], attrs[i] = res, attr
+		fmt.Printf("  %-5s replay %.2fs (%.2f Mreq/s)  energy %.0f J  io %.0f s\n",
+			p, secs, float64(res.Requests)/secs/1e6, res.Energy, res.IOTime)
+	}
+
+	noPM := results[0].Energy
+	fmt.Println("\nNormalized energy (NoPM = 1.0):")
+	for i, p := range policies {
+		fmt.Printf("  %-5s %.3f\n", p, results[i].Energy/noPM)
+	}
+
+	fmt.Println("\nPer-tenant attribution (energy J by policy):")
+	fmt.Printf("  %-7s %12s %10s %10s %10s\n", "tenant", "requests", "NoPM", "TPM", "DRPM")
+	perPolicy := make([][]float64, len(policies))
+	for i := range policies {
+		perPolicy[i] = sim.AttributeEnergy(results[i], attrs[i])
+	}
+	rows := attrs[0].PerProc()
+	for t := 0; t < hdr.NumProcs; t++ {
+		fmt.Printf("  %-7d %12d %10.0f %10.0f %10.0f\n",
+			t, rows[t].Requests, perPolicy[0][t], perPolicy[1][t], perPolicy[2][t])
+	}
+
+	fmt.Printf("\nPeak heap (runtime HeapSys): %s\n", fmtBytes(int64(peakHeap)))
+	if s.maxHeap > 0 && peakHeap > uint64(s.maxHeap) {
+		return fmt.Errorf("peak heap %s exceeds -scale-maxheap %s",
+			fmtBytes(int64(peakHeap)), fmtBytes(s.maxHeap))
+	}
+	return nil
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

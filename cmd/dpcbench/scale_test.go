@@ -1,0 +1,53 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestScaleBenchmark runs the multi-tenant streaming benchmark end to end
+// at test scale: synthesize → replay under all three policies → per-tenant
+// attribution, with the peak-heap self-check enabled.
+func TestScaleBenchmark(t *testing.T) {
+	o := options{jobs: 2, scale: scaleOptions{
+		requests: 20000,
+		tenants:  3,
+		disks:    8,
+		file:     filepath.Join(t.TempDir(), "scale.dpct"),
+		maxHeap:  1 << 30,
+		seed:     1,
+	}}
+	out := capture(t, func() error { return run(o) })
+	for _, want := range []string{
+		"Scale workload: 20000 requests, 3 tenants, 8 disks",
+		"Normalized energy (NoPM = 1.0)",
+		"Per-tenant attribution",
+		"Peak heap",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scale output missing %q:\n%s", want, out)
+		}
+	}
+	// Three tenant rows, each carrying its request count.
+	for _, row := range []string{"0      ", "1      ", "2      "} {
+		if !strings.Contains(out, row) {
+			t.Errorf("scale output missing tenant row %q:\n%s", row, out)
+		}
+	}
+}
+
+// TestScaleMaxHeapViolation: an absurdly small budget must fail the run.
+func TestScaleMaxHeapViolation(t *testing.T) {
+	o := options{jobs: 1, scale: scaleOptions{
+		requests: 5000,
+		tenants:  2,
+		file:     filepath.Join(t.TempDir(), "scale.dpct"),
+		maxHeap:  1, // 1 byte: always exceeded
+		seed:     1,
+	}}
+	err := run(o)
+	if err == nil || !strings.Contains(err.Error(), "scale-maxheap") {
+		t.Fatalf("expected a peak-heap budget error, got %v", err)
+	}
+}

@@ -1,8 +1,10 @@
 // Command dpcsim is the trace-driven disk power simulator (§7.1): it reads
 // an I/O request trace in the paper's five-field text format (arrival-ms,
-// start block, size, R/W, processor), maps blocks to I/O nodes using the
-// striping parameters, and reports disk energy and I/O time under the
-// selected power-management policy.
+// start block, size, R/W, processor) or the compact chunked binary format
+// (sniffed automatically from the first bytes), maps blocks to I/O nodes
+// using the striping parameters, and reports disk energy and I/O time
+// under the selected power-management policy. A binary trace's header
+// carries a disk count; it is adopted when -disks is not given explicitly.
 //
 // Usage:
 //
@@ -26,6 +28,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -60,6 +63,9 @@ type options struct {
 	cpuProfile, memProfile string
 	// tracePath is the positional trace-file argument; empty reads stdin.
 	tracePath string
+	// disksSet records whether -disks was given explicitly; when it was
+	// not, a binary trace's header disk count is adopted.
+	disksSet bool
 }
 
 func main() {
@@ -79,6 +85,11 @@ func main() {
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "disks" {
+			o.disksSet = true
+		}
+	})
 	if flag.NArg() > 0 {
 		o.tracePath = flag.Arg(0)
 	}
@@ -170,12 +181,44 @@ func run(o options) (err error) {
 		defer f.Close()
 		in = f
 	}
+	// Sniff the encoding: the binary magic starts with a non-ASCII byte,
+	// so no valid text trace collides with it. The chunked binary decoder
+	// reports truncated or corrupt chunk headers with the chunk index and
+	// the specific framing violation.
 	sp := tr.Start("decode", "pipeline")
-	reqs, err := trace.Decode(in)
-	sp.End()
-	if err != nil {
+	br := bufio.NewReader(in)
+	prefix, _ := br.Peek(4)
+	var reqs []trace.Request
+	if trace.IsBinaryTrace(prefix) {
+		rd, rerr := trace.NewReader(br)
+		if rerr != nil {
+			sp.End()
+			return fmt.Errorf("binary trace: %w", rerr)
+		}
+		if hdr := rd.Header(); !o.disksSet && hdr.NumDisks > 0 {
+			o.disks = hdr.NumDisks
+		}
+		if n := rd.Requests(); n > 0 && n <= int64(int(^uint(0)>>1)) {
+			reqs = make([]trace.Request, 0, n)
+		}
+		for {
+			chunk, cerr := rd.Next()
+			if cerr == io.EOF {
+				break
+			}
+			if cerr != nil {
+				rd.Close()
+				sp.End()
+				return fmt.Errorf("binary trace: %w", cerr)
+			}
+			reqs = append(reqs, chunk...)
+		}
+		rd.Close()
+	} else if reqs, err = trace.Decode(br); err != nil {
+		sp.End()
 		return err
 	}
+	sp.End()
 	if o.unit%o.pageSize != 0 {
 		return fmt.Errorf("stripe unit %d must be a multiple of the page size %d", o.unit, o.pageSize)
 	}

@@ -76,6 +76,11 @@ type Options struct {
 	RAIDWidth    int
 	// Trace generation overrides.
 	CachePages int
+	// Stream replays every version through the out-of-core streaming path
+	// (sim.RunStream over a chunked view of the prepared trace) instead of
+	// the in-memory replay. Results are bit-identical by construction; the
+	// knob exercises the streaming reducers on the paper suite.
+	Stream bool
 	// Proactive adds the P-TPM extension version (restructured schedule
 	// with compiler-inserted spin-up hints) to every run.
 	Proactive bool
@@ -460,7 +465,13 @@ func (art *artifacts) runVersion(v Version, opt Options) (RunResult, error) {
 			return RunResult{}, fmt.Errorf("exp: %s/%s: %w", art.app.Name, v, err)
 		}
 	}
-	res, err := sim.RunPrepared(e.prep, cfg)
+	var res *sim.Result
+	var err error
+	if opt.Stream {
+		res, err = sim.RunStream(e.prep.Source(), art.lay.PageDisk, cfg)
+	} else {
+		res, err = sim.RunPrepared(e.prep, cfg)
+	}
 	if err != nil {
 		return RunResult{}, fmt.Errorf("exp: %s/%s: %w", art.app.Name, v, err)
 	}

@@ -1,7 +1,7 @@
 // Package invariant is the correctness harness for the whole pipeline: it
 // runs a DRL program (typically produced by internal/drlgen) through
 // compile → restructure → trace generation → simulation and asserts the
-// load-bearing properties end to end, in six families:
+// load-bearing properties end to end, in seven families:
 //
 //  1. Legality — the disk-reuse schedule is a permutation of the iteration
 //     space and passes interp.Space.VerifySchedule.
@@ -20,6 +20,10 @@
 //     tree-walk oracle produce bit-identical iteration spaces, dependence
 //     graphs, disk attributions, schedules, and request traces, at Jobs=1
 //     and Jobs=N (CheckEngineParity).
+//  7. Streaming parity — replaying the trace through the out-of-core path
+//     (binary encode → chunked decode → sim.RunStream) produces the same
+//     Result, interval stream, and telemetry as the in-memory replay, bit
+//     for bit, at Jobs=1 and Jobs=N.
 //
 // These are exactly the assumptions the paper's claims rest on (§5 legality
 // of the Fig. 3 reordering, §7 fidelity of the energy accounting), turned
@@ -27,6 +31,7 @@
 package invariant
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"reflect"
@@ -36,6 +41,7 @@ import (
 	"diskreuse/internal/drlgen"
 	"diskreuse/internal/interp"
 	"diskreuse/internal/layout"
+	"diskreuse/internal/obs"
 	"diskreuse/internal/parser"
 	"diskreuse/internal/sema"
 	"diskreuse/internal/sim"
@@ -80,7 +86,7 @@ var policies = []sim.Policy{sim.NoPM, sim.TPM, sim.DRPM}
 // into exactly the program the fuzzer exercised.
 var PipelineFuzzConfig = drlgen.Config{MaxIterations: 96}
 
-// Check runs src through the full pipeline and asserts all five invariant
+// Check runs src through the full pipeline and asserts all seven invariant
 // families, returning a Report on success and the first violation as an
 // error. The source must be a valid DRL program (drlgen output always is).
 func Check(src string, opt Options) (*Report, error) {
@@ -208,13 +214,19 @@ func Check(src string, opt Options) (*Report, error) {
 		Requests:   len(schedReqs),
 		Energy:     make(map[sim.Policy]float64, len(policies)),
 	}
+	// Family 7's streaming legs replay the binary encoding of the same
+	// arrival-sorted request stream the prepared trace replays.
+	var encoded bytes.Buffer
+	if err := trace.EncodeBinary(&encoded, pt.Sorted(), 0, numDisks); err != nil {
+		return nil, fmt.Errorf("streaming parity: encode: %w", err)
+	}
 	var baseRes *sim.Result
 	for _, pol := range policies {
-		res1, ivs1, err := runRecorded(pt, opt, pol, numDisks, 1)
+		res1, ivs1, tel1, err := runRecorded(pt, opt, pol, numDisks, 1)
 		if err != nil {
 			return nil, fmt.Errorf("sim %s (serial): %w", pol, err)
 		}
-		resN, ivsN, err := runRecorded(pt, opt, pol, numDisks, opt.Jobs)
+		resN, ivsN, telN, err := runRecorded(pt, opt, pol, numDisks, opt.Jobs)
 		if err != nil {
 			return nil, fmt.Errorf("sim %s (jobs=%d): %w", pol, opt.Jobs, err)
 		}
@@ -223,6 +235,27 @@ func Check(src string, opt Options) (*Report, error) {
 		}
 		if !reflect.DeepEqual(ivs1, ivsN) {
 			return nil, fmt.Errorf("determinism: %s interval stream differs between Jobs=1 and Jobs=%d", pol, opt.Jobs)
+		}
+		if !reflect.DeepEqual(tel1, telN) {
+			return nil, fmt.Errorf("determinism: %s telemetry differs between Jobs=1 and Jobs=%d", pol, opt.Jobs)
+		}
+
+		// Family 7: the out-of-core path must be bit-identical to the
+		// in-memory replay at both worker counts.
+		for _, jobs := range []int{1, opt.Jobs} {
+			resS, ivsS, telS, err := runStreamed(encoded.Bytes(), opt, pol, numDisks, jobs, diskOf)
+			if err != nil {
+				return nil, fmt.Errorf("sim %s (streamed, jobs=%d): %w", pol, jobs, err)
+			}
+			if !reflect.DeepEqual(res1, resS) {
+				return nil, fmt.Errorf("streaming parity: %s result differs from the in-memory replay (jobs=%d)", pol, jobs)
+			}
+			if !reflect.DeepEqual(ivs1, ivsS) {
+				return nil, fmt.Errorf("streaming parity: %s interval stream differs from the in-memory replay (jobs=%d)", pol, jobs)
+			}
+			if !reflect.DeepEqual(tel1, telS) {
+				return nil, fmt.Errorf("streaming parity: %s telemetry differs from the in-memory replay (jobs=%d)", pol, jobs)
+			}
 		}
 		if err := CheckSimRun(SimRun{
 			Model:        opt.Model,
@@ -258,7 +291,7 @@ func Check(src string, opt Options) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("prepare (original): %w", err)
 	}
-	origRes, origIvs, err := runRecorded(ptOrig, opt, sim.NoPM, numDisks, 1)
+	origRes, origIvs, _, err := runRecorded(ptOrig, opt, sim.NoPM, numDisks, 1)
 	if err != nil {
 		return nil, fmt.Errorf("sim NoPM (original): %w", err)
 	}
@@ -385,9 +418,10 @@ func checkEngineParity(prog *sema.Program, lay *layout.Layout, computePerIter fl
 }
 
 // runRecorded replays a prepared trace under one policy with interval
-// recording enabled.
-func runRecorded(pt *sim.PreparedTrace, opt Options, pol sim.Policy, numDisks, jobs int) (*sim.Result, []sim.Interval, error) {
+// recording and telemetry enabled.
+func runRecorded(pt *sim.PreparedTrace, opt Options, pol sim.Policy, numDisks, jobs int) (*sim.Result, []sim.Interval, *obs.SimTelemetry, error) {
 	var ivs []sim.Interval
+	tel := obs.NewSimTelemetry(numDisks)
 	cfg := sim.Config{
 		Model:        opt.Model,
 		NumDisks:     numDisks,
@@ -395,12 +429,40 @@ func runRecorded(pt *sim.PreparedTrace, opt Options, pol sim.Policy, numDisks, j
 		TPMThreshold: opt.TPMThreshold,
 		Jobs:         jobs,
 		Record:       func(iv sim.Interval) { ivs = append(ivs, iv) },
+		Telemetry:    tel,
 	}
 	res, err := sim.RunPrepared(pt, cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return res, ivs, nil
+	return res, ivs, tel, nil
+}
+
+// runStreamed replays the binary-encoded trace through the out-of-core
+// path (chunked decode → sim.RunStream) under one policy, with the same
+// recording and telemetry as runRecorded.
+func runStreamed(encoded []byte, opt Options, pol sim.Policy, numDisks, jobs int, diskOf func(block int64) (int, error)) (*sim.Result, []sim.Interval, *obs.SimTelemetry, error) {
+	rd, err := trace.NewReader(bytes.NewReader(encoded))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer rd.Close()
+	var ivs []sim.Interval
+	tel := obs.NewSimTelemetry(numDisks)
+	cfg := sim.Config{
+		Model:        opt.Model,
+		NumDisks:     numDisks,
+		Policy:       pol,
+		TPMThreshold: opt.TPMThreshold,
+		Jobs:         jobs,
+		Record:       func(iv sim.Interval) { ivs = append(ivs, iv) },
+		Telemetry:    tel,
+	}
+	res, err := sim.RunStream(rd, diskOf, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, ivs, tel, nil
 }
 
 // reqKey identifies a request up to reordering: restructuring may change

@@ -186,7 +186,7 @@ func tamperRun(t *testing.T, pol sim.Policy) (SimRun, *sim.Result) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, ivs, err := runRecorded(pt, Options{Model: disk.Ultrastar36Z15(), Jobs: 1}, pol, lay.NumDisks(), 1)
+	res, ivs, _, err := runRecorded(pt, Options{Model: disk.Ultrastar36Z15(), Jobs: 1}, pol, lay.NumDisks(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

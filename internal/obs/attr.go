@@ -1,0 +1,112 @@
+package obs
+
+// ProcAttribution accumulates per-(disk, processor) service attribution
+// from a simulation's replay: how many requests each processor (tenant)
+// issued to each disk, how much disk busy time it consumed there, and its
+// summed response time. The simulator feeds it from its per-disk replay
+// shards — each disk's row is written only by that disk's worker, so the
+// accumulator needs no locking and the totals are identical at every
+// worker count. It is the measurement behind per-tenant energy
+// attribution on multi-tenant merged traces.
+//
+// A nil ProcAttribution is a valid no-op sink.
+type ProcAttribution struct {
+	numDisks, numProcs int
+	cells              []ProcCell // [disk*numProcs + proc]
+}
+
+// ProcCell is one (disk, processor) attribution cell.
+type ProcCell struct {
+	// Requests the processor issued to the disk.
+	Requests int
+	// BusyS is the disk service time those requests consumed (s).
+	BusyS float64
+	// RespS is their summed response time (s).
+	RespS float64
+}
+
+// NewProcAttribution returns an accumulator sized for numDisks disks and
+// numProcs processors.
+func NewProcAttribution(numDisks, numProcs int) *ProcAttribution {
+	if numDisks < 0 {
+		numDisks = 0
+	}
+	if numProcs < 0 {
+		numProcs = 0
+	}
+	return &ProcAttribution{
+		numDisks: numDisks,
+		numProcs: numProcs,
+		cells:    make([]ProcCell, numDisks*numProcs),
+	}
+}
+
+// NumDisks returns the disk count the accumulator was sized for.
+func (a *ProcAttribution) NumDisks() int {
+	if a == nil {
+		return 0
+	}
+	return a.numDisks
+}
+
+// NumProcs returns the processor count the accumulator was sized for.
+func (a *ProcAttribution) NumProcs() int {
+	if a == nil {
+		return 0
+	}
+	return a.numProcs
+}
+
+// Observe folds one serviced request into the (disk, proc) cell.
+// Out-of-range indices are ignored (the simulator validates sizing up
+// front, so this only guards foreign callers).
+func (a *ProcAttribution) Observe(disk, proc int, busy, resp float64) {
+	if a == nil || disk < 0 || disk >= a.numDisks || proc < 0 || proc >= a.numProcs {
+		return
+	}
+	c := &a.cells[disk*a.numProcs+proc]
+	c.Requests++
+	c.BusyS += busy
+	c.RespS += resp
+}
+
+// Cell returns the (disk, proc) cell; out-of-range indices return a zero
+// cell.
+func (a *ProcAttribution) Cell(disk, proc int) ProcCell {
+	if a == nil || disk < 0 || disk >= a.numDisks || proc < 0 || proc >= a.numProcs {
+		return ProcCell{}
+	}
+	return a.cells[disk*a.numProcs+proc]
+}
+
+// DiskTotals returns a disk's total attributed busy time and request
+// count across all processors.
+func (a *ProcAttribution) DiskTotals(disk int) (busy float64, requests int) {
+	if a == nil || disk < 0 || disk >= a.numDisks {
+		return 0, 0
+	}
+	for p := 0; p < a.numProcs; p++ {
+		c := &a.cells[disk*a.numProcs+p]
+		busy += c.BusyS
+		requests += c.Requests
+	}
+	return busy, requests
+}
+
+// PerProc folds the per-disk cells into one attribution row per
+// processor, summing in disk order.
+func (a *ProcAttribution) PerProc() []ProcCell {
+	if a == nil {
+		return nil
+	}
+	out := make([]ProcCell, a.numProcs)
+	for d := 0; d < a.numDisks; d++ {
+		for p := 0; p < a.numProcs; p++ {
+			c := a.cells[d*a.numProcs+p]
+			out[p].Requests += c.Requests
+			out[p].BusyS += c.BusyS
+			out[p].RespS += c.RespS
+		}
+	}
+	return out
+}

@@ -44,6 +44,18 @@ func (pt *PreparedTrace) NumDisks() int { return pt.numDisks }
 // Requests returns the number of requests in the prepared trace.
 func (pt *PreparedTrace) Requests() int { return len(pt.sorted) }
 
+// Sorted returns the prepared trace's requests in arrival order. The
+// slice is shared with the replay — callers must treat it as read-only.
+func (pt *PreparedTrace) Sorted() []trace.Request { return pt.sorted }
+
+// Source returns the prepared trace's arrival-ordered requests as a
+// streaming trace.Source: chunked read-only views of the in-memory slice,
+// the same iterator contract the chunked binary file reader satisfies.
+// RunStream over this source is bit-identical to RunPrepared.
+func (pt *PreparedTrace) Source() trace.Source {
+	return trace.NewSliceSource(pt.sorted, 0)
+}
+
 // PrepareTrace attributes every request of reqs to its disk and buckets the
 // trace for replay: one counting pass, one flat per-disk carve, one stable
 // arrival sort (skipped when reqs is already sorted, the common case for

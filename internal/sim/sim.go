@@ -104,6 +104,15 @@ type Config struct {
 	// closed-loop model), so a trace export shows the simulator's fan-out.
 	Span *obs.Span
 
+	// Attribution, when non-nil, accumulates per-(disk, processor)
+	// service attribution — requests, busy time, response time — fed from
+	// the replay loops (per-disk rows, so it needs no locking and is
+	// identical at every Jobs value). It must be sized for the run's disk
+	// count, and every request's processor id must lie inside its
+	// processor range. AttributeEnergy turns the accumulated shares into
+	// per-tenant energy.
+	Attribution *obs.ProcAttribution
+
 	// RAIDWidth is the number of physical disks behind each I/O node —
 	// the RAID-level striping of Fig. 1, which is hidden from the compiler
 	// (power is still managed at I/O-node granularity, as in the paper).
@@ -310,9 +319,17 @@ func Run(reqs []trace.Request, diskOf func(block int64) (int, error), cfg Config
 // value must match it. RunPrepared only reads pt, so concurrent calls may
 // share one PreparedTrace.
 func RunPrepared(pt *PreparedTrace, cfg Config) (*Result, error) {
-	cfg, err := cfg.normalize(pt)
+	cfg, err := cfg.normalize(pt.numDisks)
 	if err != nil {
 		return nil, err
+	}
+	if attr := cfg.Attribution; attr != nil {
+		for _, p := range pt.procIDs {
+			if p < 0 || p >= attr.NumProcs() {
+				return nil, fmt.Errorf("sim: Attribution sized for %d processors but the trace has processor id %d (size it with obs.NewProcAttribution)",
+					attr.NumProcs(), p)
+			}
+		}
 	}
 
 	res := &Result{
@@ -320,9 +337,26 @@ func RunPrepared(pt *PreparedTrace, cfg Config) (*Result, error) {
 		Requests: len(pt.sorted),
 		Policy:   cfg.Policy,
 	}
-	// With RAID-level striping (Fig. 1), each I/O node's meter accounts for
-	// all of its physical disks: power draws and transition energies scale
-	// with the width, while the timing model is per physical disk.
+	states := newStates(cfg, res)
+	if cfg.ClosedLoop {
+		sp := cfg.Span.Child("closed-replay")
+		runClosedLoop(pt, cfg, states, res)
+		sp.End()
+	} else {
+		if err := runOpenLoop(pt, cfg, states, res); err != nil {
+			return nil, err
+		}
+	}
+	finishRun(cfg, states, res)
+	return res, nil
+}
+
+// newStates builds the per-disk simulators and their energy meters for one
+// run: per-disk state plus the meter model scaling for RAID-level striping
+// (Fig. 1) — each I/O node's meter accounts for all of its physical disks,
+// so power draws and transition energies scale with the width while the
+// timing model stays per physical disk.
+func newStates(cfg Config, res *Result) []*diskSim {
 	meterModel := cfg.Model
 	if w := float64(cfg.RAIDWidth); w > 1 {
 		meterModel.PowerActive *= w
@@ -340,34 +374,32 @@ func RunPrepared(pt *PreparedTrace, cfg Config) (*Result, error) {
 	for _, h := range cfg.Hints {
 		states[h.Disk].hints = append(states[h.Disk].hints, h.Time)
 	}
-	if cfg.ClosedLoop {
-		sp := cfg.Span.Child("closed-replay")
-		runClosedLoop(pt, cfg, states, res)
-		sp.End()
-	} else {
-		if err := runOpenLoop(pt, cfg, states, res); err != nil {
-			return nil, err
-		}
-	}
+	return states
+}
 
-	// Tail: every disk stays powered until the application's last request
-	// completes; apply the policy to the final gap (no spin-up at the end).
+// finishRun accounts the tail after the replay: every disk stays powered
+// until the application's last request completes, with the policy applied
+// to the final gap (no spin-up at the end), then the per-disk energies
+// fold into the totals and the telemetry's still-open request-free tail
+// periods close.
+func finishRun(cfg Config, states []*diskSim, res *Result) {
 	for d := 0; d < cfg.NumDisks; d++ {
 		st := &res.PerDisk[d]
 		states[d].finish(res.Makespan-states[d].clock, st)
 		res.Energy += st.Meter.Total()
 		res.IOTime += st.BusyTime
 	}
-	// Close the still-open request-free tail periods.
 	cfg.Telemetry.Finish()
-	return res, nil
 }
 
-// normalize validates the configuration against the prepared trace and
-// fills defaults, returning the resolved copy. Every Config field is
-// checked here, so a bad value surfaces as a clear error from RunPrepared
-// instead of a panic or silent misbehavior deep inside the replay.
-func (cfg Config) normalize(pt *PreparedTrace) (Config, error) {
+// normalize validates the configuration and fills defaults, returning the
+// resolved copy. traceDisks is the prepared trace's disk count, or 0 for
+// the streaming path where the trace carries no prepared attribution (the
+// caller must then set NumDisks explicitly). Every Config field is checked
+// here, so a bad value surfaces as a clear error from RunPrepared or
+// RunStream instead of a panic or silent misbehavior deep inside the
+// replay.
+func (cfg Config) normalize(traceDisks int) (Config, error) {
 	if err := cfg.Model.Validate(); err != nil {
 		return cfg, err
 	}
@@ -375,10 +407,13 @@ func (cfg Config) normalize(pt *PreparedTrace) (Config, error) {
 		return cfg, fmt.Errorf("sim: NumDisks %d must be >= 0 (0 adopts the prepared trace's disk count)", cfg.NumDisks)
 	}
 	if cfg.NumDisks == 0 {
-		cfg.NumDisks = pt.numDisks
+		cfg.NumDisks = traceDisks
 	}
-	if cfg.NumDisks != pt.numDisks {
-		return cfg, fmt.Errorf("sim: Config.NumDisks %d does not match the prepared trace's %d disks", cfg.NumDisks, pt.numDisks)
+	if cfg.NumDisks == 0 {
+		return cfg, fmt.Errorf("sim: the streaming replay needs an explicit NumDisks (no prepared trace to adopt it from)")
+	}
+	if traceDisks > 0 && cfg.NumDisks != traceDisks {
+		return cfg, fmt.Errorf("sim: Config.NumDisks %d does not match the prepared trace's %d disks", cfg.NumDisks, traceDisks)
 	}
 	if cfg.Jobs < 0 {
 		return cfg, fmt.Errorf("sim: Jobs %d must be >= 0 (0 selects GOMAXPROCS, 1 forces the serial path)", cfg.Jobs)
@@ -406,6 +441,9 @@ func (cfg Config) normalize(pt *PreparedTrace) (Config, error) {
 	}
 	if cfg.Telemetry != nil && cfg.Telemetry.NumDisks() != cfg.NumDisks {
 		return cfg, fmt.Errorf("sim: Telemetry sized for %d disks but the run has %d (size it with obs.NewSimTelemetry(NumDisks))", cfg.Telemetry.NumDisks(), cfg.NumDisks)
+	}
+	if cfg.Attribution != nil && cfg.Attribution.NumDisks() != cfg.NumDisks {
+		return cfg, fmt.Errorf("sim: Attribution sized for %d disks but the run has %d (size it with obs.NewProcAttribution(NumDisks, NumProcs))", cfg.Attribution.NumDisks(), cfg.NumDisks)
 	}
 	// advanceGap consumes each disk's hints with a forward-only cursor, so
 	// out-of-order hints would be silently dropped — reject them instead.
@@ -482,6 +520,7 @@ func runOpenLoop(pt *PreparedTrace, cfg Config, states []*diskSim, res *Result) 
 	}
 	parts := make([]partial, pt.numDisks)
 	record := cfg.Record
+	attr := cfg.Attribution
 	jobs := cfg.Jobs
 	if jobs == 0 && len(pt.sorted) < minParallelRequests {
 		jobs = 1
@@ -502,10 +541,14 @@ func runOpenLoop(pt *PreparedTrace, cfg Config, states []*diskSim, res *Result) 
 		st := &res.PerDisk[d]
 		var resp, makespan float64
 		for _, r := range pt.perDisk[d] {
+			busy0 := st.BusyTime
 			completion, rt := ds.service(r.Arrival, r.Size, st)
 			resp += rt
 			if completion > makespan {
 				makespan = completion
+			}
+			if attr != nil {
+				attr.Observe(d, r.Proc, st.BusyTime-busy0, rt)
 			}
 		}
 		parts[d].resp = resp
@@ -582,7 +625,12 @@ func runClosedLoop(pt *PreparedTrace, cfg Config, states []*diskSim, res *Result
 		i := ps.idx[k]
 		r, d := sorted[i], pt.diskIdx[i]
 		issue := ps.ready
-		completion, resp := states[d].service(issue, r.Size, &res.PerDisk[d])
+		st := &res.PerDisk[d]
+		busy0 := st.BusyTime
+		completion, resp := states[d].service(issue, r.Size, st)
+		if attr := cfg.Attribution; attr != nil {
+			attr.Observe(d, r.Proc, st.BusyTime-busy0, resp)
+		}
 		res.ResponseTime += resp
 		if completion > res.Makespan {
 			res.Makespan = completion

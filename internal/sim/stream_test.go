@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"diskreuse/internal/obs"
+	"diskreuse/internal/trace"
+)
+
+// streamLegs replays pt through every streaming source shape — in-memory
+// slice chunks and the binary codec — and requires each leg bit-identical
+// to the in-memory RunPrepared replay: Result, interval stream, telemetry,
+// and attribution.
+func TestRunStreamMatchesPrepared(t *testing.T) {
+	const nReq, nDisks = 20000, 8
+	reqs, diskOf := benchReplayTrace(nReq, nDisks)
+	pt, err := PrepareTrace(reqs, diskOf, nDisks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var encoded bytes.Buffer
+	if err := trace.EncodeBinary(&encoded, pt.Sorted(), 0, nDisks); err != nil {
+		t.Fatal(err)
+	}
+
+	type leg struct {
+		name string
+		src  func() trace.Source
+	}
+	legs := []leg{
+		{"slice", func() trace.Source { return pt.Source() }},
+		{"slice-small-chunks", func() trace.Source { return trace.NewSliceSource(pt.Sorted(), 777) }},
+		{"binary", func() trace.Source {
+			rd, err := trace.NewReader(bytes.NewReader(encoded.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rd
+		}},
+	}
+
+	for _, pol := range []Policy{NoPM, TPM, DRPM} {
+		for _, jobs := range []int{1, 8} {
+			run := func(stream trace.Source) (*Result, []Interval, *obs.SimTelemetry, *obs.ProcAttribution) {
+				var ivs []Interval
+				tel := obs.NewSimTelemetry(nDisks)
+				attr := obs.NewProcAttribution(nDisks, 4)
+				c := cfg(pol, nDisks)
+				c.Jobs = jobs
+				c.Record = func(iv Interval) { ivs = append(ivs, iv) }
+				c.Telemetry = tel
+				c.Attribution = attr
+				var res *Result
+				var err error
+				if stream == nil {
+					res, err = RunPrepared(pt, c)
+				} else {
+					defer stream.Close()
+					res, err = RunStream(stream, diskOf, c)
+				}
+				if err != nil {
+					t.Fatalf("%s jobs=%d: %v", pol, jobs, err)
+				}
+				return res, ivs, tel, attr
+			}
+			wantRes, wantIvs, wantTel, wantAttr := run(nil)
+			for _, l := range legs {
+				res, ivs, tel, attr := run(l.src())
+				if !reflect.DeepEqual(wantRes, res) {
+					t.Errorf("%s jobs=%d %s: Result differs from RunPrepared", pol, jobs, l.name)
+				}
+				if !reflect.DeepEqual(wantIvs, ivs) {
+					t.Errorf("%s jobs=%d %s: interval stream differs from RunPrepared", pol, jobs, l.name)
+				}
+				if !reflect.DeepEqual(wantTel, tel) {
+					t.Errorf("%s jobs=%d %s: telemetry differs from RunPrepared", pol, jobs, l.name)
+				}
+				if !reflect.DeepEqual(wantAttr, attr) {
+					t.Errorf("%s jobs=%d %s: attribution differs from RunPrepared", pol, jobs, l.name)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamAttributionAccounting checks the attribution bookkeeping
+// against the run's own totals: per-disk attributed busy time and request
+// counts must equal the disk stats exactly, and the per-tenant energy
+// shares must never exceed the run's total energy.
+func TestStreamAttributionAccounting(t *testing.T) {
+	const nReq, nDisks, nProcs = 20000, 8, 4
+	reqs, diskOf := benchReplayTrace(nReq, nDisks)
+	pt, err := PrepareTrace(reqs, diskOf, nDisks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []Policy{NoPM, TPM, DRPM} {
+		attr := obs.NewProcAttribution(nDisks, nProcs)
+		c := cfg(pol, nDisks)
+		c.Attribution = attr
+		res, err := RunStream(pt.Source(), diskOf, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := range res.PerDisk {
+			busy, n := attr.DiskTotals(d)
+			if n != res.PerDisk[d].Requests {
+				t.Errorf("%s disk %d: attributed %d requests, disk stats say %d", pol, d, n, res.PerDisk[d].Requests)
+			}
+			if math.Abs(busy-res.PerDisk[d].BusyTime) > 1e-9*(1+res.PerDisk[d].BusyTime) {
+				t.Errorf("%s disk %d: attributed busy %v, disk stats say %v", pol, d, busy, res.PerDisk[d].BusyTime)
+			}
+		}
+		shares := AttributeEnergy(res, attr)
+		if len(shares) != nProcs {
+			t.Fatalf("%s: AttributeEnergy returned %d shares, want %d", pol, len(shares), nProcs)
+		}
+		sum := 0.0
+		for p, s := range shares {
+			if s < 0 {
+				t.Errorf("%s: tenant %d has negative energy %v", pol, p, s)
+			}
+			sum += s
+		}
+		if sum > res.Energy*(1+1e-9) {
+			t.Errorf("%s: attributed energy %v exceeds run total %v", pol, sum, res.Energy)
+		}
+		// Every request-serving disk's energy is fully attributed, so the
+		// shares account for nearly all of this trace's energy (every disk
+		// serves requests here).
+		if sum < res.Energy*0.99 {
+			t.Errorf("%s: attributed energy %v is under 99%% of run total %v", pol, sum, res.Energy)
+		}
+	}
+}
+
+// TestRunStreamValidation covers the streaming path's input contract.
+func TestRunStreamValidation(t *testing.T) {
+	const nDisks = 4
+	diskOf := modDisk(nDisks)
+	sorted := []trace.Request{
+		{Arrival: 0, Block: 0, Size: 4096},
+		{Arrival: 1, Block: 1, Size: 4096},
+	}
+
+	t.Run("unsorted", func(t *testing.T) {
+		reqs := []trace.Request{
+			{Arrival: 5, Block: 0, Size: 4096},
+			{Arrival: 1, Block: 1, Size: 4096},
+		}
+		c := cfg(TPM, nDisks)
+		if _, err := RunStream(trace.NewSliceSource(reqs, 0), diskOf, c); err == nil {
+			t.Fatal("unsorted trace accepted")
+		}
+	})
+	t.Run("unsorted-across-chunks", func(t *testing.T) {
+		reqs := []trace.Request{
+			{Arrival: 5, Block: 0, Size: 4096},
+			{Arrival: 1, Block: 1, Size: 4096},
+		}
+		c := cfg(TPM, nDisks)
+		if _, err := RunStream(trace.NewSliceSource(reqs, 1), diskOf, c); err == nil {
+			t.Fatal("chunk-boundary sort violation accepted")
+		}
+	})
+	t.Run("closed-loop", func(t *testing.T) {
+		c := cfg(TPM, nDisks)
+		c.ClosedLoop = true
+		if _, err := RunStream(trace.NewSliceSource(sorted, 0), diskOf, c); err == nil {
+			t.Fatal("closed-loop streaming accepted")
+		}
+	})
+	t.Run("no-disk-count", func(t *testing.T) {
+		c := cfg(TPM, nDisks)
+		c.NumDisks = 0
+		if _, err := RunStream(trace.NewSliceSource(sorted, 0), diskOf, c); err == nil {
+			t.Fatal("missing NumDisks accepted")
+		}
+	})
+	t.Run("disk-out-of-range", func(t *testing.T) {
+		c := cfg(TPM, nDisks)
+		bad := func(block int64) (int, error) { return nDisks, nil }
+		if _, err := RunStream(trace.NewSliceSource(sorted, 0), bad, c); err == nil {
+			t.Fatal("out-of-range disk accepted")
+		}
+	})
+	t.Run("attribution-proc-range", func(t *testing.T) {
+		c := cfg(TPM, nDisks)
+		c.Attribution = obs.NewProcAttribution(nDisks, 1)
+		reqs := []trace.Request{{Arrival: 0, Block: 0, Size: 4096, Proc: 3}}
+		if _, err := RunStream(trace.NewSliceSource(reqs, 0), diskOf, c); err == nil {
+			t.Fatal("proc id outside the attribution range accepted")
+		}
+	})
+	t.Run("attribution-disk-count", func(t *testing.T) {
+		c := cfg(TPM, nDisks)
+		c.Attribution = obs.NewProcAttribution(nDisks+1, 4)
+		if _, err := RunStream(trace.NewSliceSource(sorted, 0), diskOf, c); err == nil {
+			t.Fatal("attribution sized for the wrong disk count accepted")
+		}
+	})
+}
+
+// BenchmarkRunStream compares the streaming replay's throughput against
+// the in-memory RunPrepared path it must stay within 0.8× of (BENCH_7),
+// over both source shapes: zero-copy slice chunks and the binary codec.
+func BenchmarkRunStream(b *testing.B) {
+	const nReq, nDisks = 1 << 16, 16
+	reqs, diskOf := benchReplayTrace(nReq, nDisks)
+	pt, err := PrepareTrace(reqs, diskOf, nDisks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var encoded bytes.Buffer
+	if err := trace.EncodeBinary(&encoded, pt.Sorted(), 0, nDisks); err != nil {
+		b.Fatal(err)
+	}
+	report := func(b *testing.B) {
+		b.ReportMetric(float64(nReq*b.N)/b.Elapsed().Seconds(), "reqs/s")
+	}
+	b.Run("prepared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := RunPrepared(pt, cfg(TPM, nDisks)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b)
+	})
+	b.Run("stream-slice", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := RunStream(pt.Source(), diskOf, cfg(TPM, nDisks)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b)
+	})
+	b.Run("stream-binary", func(b *testing.B) {
+		b.SetBytes(int64(encoded.Len()))
+		for i := 0; i < b.N; i++ {
+			rd, err := trace.NewReader(bytes.NewReader(encoded.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, err = RunStream(rd, diskOf, cfg(TPM, nDisks))
+			rd.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b)
+	})
+}

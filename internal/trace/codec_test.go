@@ -1,0 +1,474 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"diskreuse/internal/core"
+	"diskreuse/internal/drlgen"
+	"diskreuse/internal/layout"
+	"diskreuse/internal/parser"
+	"diskreuse/internal/sema"
+)
+
+// pipelineTrace compiles a drlgen program and generates its restructured
+// request trace — the codec's property tests run on real pipeline output,
+// not just synthetic request streams.
+func pipelineTrace(t *testing.T, seed int64) []Request {
+	t.Helper()
+	c := drlgen.Generate(seed, drlgen.Config{MaxIterations: 64})
+	astProg, err := parser.Parse(c.Source)
+	if err != nil {
+		t.Fatalf("seed %d: parse: %v", seed, err)
+	}
+	prog, err := sema.Analyze(astProg, sema.Options{})
+	if err != nil {
+		t.Fatalf("seed %d: sema: %v", seed, err)
+	}
+	lay, err := layout.New(prog, 0)
+	if err != nil {
+		t.Fatalf("seed %d: layout: %v", seed, err)
+	}
+	r, err := core.New(prog, lay)
+	if err != nil {
+		t.Fatalf("seed %d: core: %v", seed, err)
+	}
+	sched, err := r.DiskReuseSchedule()
+	if err != nil {
+		t.Fatalf("seed %d: schedule: %v", seed, err)
+	}
+	reqs, err := Generate(r, SinglePhase(sched), GenConfig{ComputePerIter: 1e-3})
+	if err != nil {
+		t.Fatalf("seed %d: generate: %v", seed, err)
+	}
+	return reqs
+}
+
+func roundTrip(t *testing.T, reqs []Request, numProcs, numDisks int) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, reqs, numProcs, numDisks); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) == 0 && len(reqs) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(reqs, got) {
+		t.Fatalf("round trip is not the identity: %d requests in, %d out", len(reqs), len(got))
+	}
+}
+
+// TestBinaryRoundTripPipeline: encode→decode is the identity, bit for bit
+// (arrival float bits included), on generated pipeline traces.
+func TestBinaryRoundTripPipeline(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		reqs := pipelineTrace(t, seed)
+		roundTrip(t, reqs, 0, 4)
+	}
+}
+
+// TestBinaryRoundTripShapes exercises the codec's edge shapes: empty
+// traces, single requests, chunk-boundary counts, unsorted arrivals,
+// negative and descending blocks, denormal-adjacent arrivals.
+func TestBinaryRoundTripShapes(t *testing.T) {
+	shapes := map[string][]Request{
+		"empty":  {},
+		"single": {{Arrival: 1.5, Block: 42, Size: 4096, Write: true, Proc: 3}},
+		"zeros":  {{}, {}, {}},
+		"extremes": {
+			{Arrival: 0, Block: math.MaxInt64, Size: math.MaxInt64, Proc: 0},
+			{Arrival: math.MaxFloat64, Block: math.MinInt64 + 1, Size: 0, Write: true, Proc: 7},
+			{Arrival: math.SmallestNonzeroFloat64, Block: 0, Size: 1, Proc: 1},
+		},
+		"unsorted": {
+			{Arrival: 9, Block: 5, Size: 512},
+			{Arrival: 1, Block: 9000, Size: 512},
+			{Arrival: 4, Block: 1, Size: 512, Write: true},
+		},
+	}
+	for name, reqs := range shapes {
+		t.Run(name, func(t *testing.T) { roundTrip(t, reqs, 8, 2) })
+	}
+
+	t.Run("chunk-boundaries", func(t *testing.T) {
+		// Counts straddling the chunk capacity, with a tiny capacity so
+		// multi-chunk framing and delta-state resets are exercised.
+		for _, n := range []int{6, 7, 8} {
+			reqs := make([]Request, n)
+			for i := range reqs {
+				reqs[i] = Request{Arrival: float64(i) * 0.25, Block: int64(i * 13), Size: 4096, Proc: i % 3}
+			}
+			var buf bytes.Buffer
+			w, err := NewWriter(&buf, Header{NumProcs: 3, NumDisks: 2, NumRequests: int64(n), ChunkCap: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Write(reqs); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(reqs, got) {
+				t.Fatalf("n=%d: round trip is not the identity", n)
+			}
+		}
+	})
+}
+
+// TestBinaryWriterValidation covers the writer's input contract.
+func TestBinaryWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, Header{NumProcs: 0, NumDisks: 1}); err == nil {
+		t.Error("zero NumProcs accepted")
+	}
+	if _, err := NewWriter(&buf, Header{NumProcs: 1, NumDisks: 0}); err == nil {
+		t.Error("zero NumDisks accepted")
+	}
+	if _, err := NewWriter(&buf, Header{NumProcs: 1, NumDisks: 1, ChunkCap: maxChunkRequests + 1}); err == nil {
+		t.Error("oversized ChunkCap accepted")
+	}
+
+	w, err := NewWriter(&buf, Header{NumProcs: 2, NumDisks: 1, NumRequests: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write([]Request{{Proc: 2}}); err == nil {
+		t.Error("proc outside the header range accepted")
+	}
+	if err := w.Write([]Request{{Size: -1}}); err == nil {
+		t.Error("negative size accepted")
+	}
+	if err := w.Close(); err == nil {
+		t.Error("Close accepted a request count short of the declaration")
+	}
+}
+
+// headerLen computes the encoded header size for corruption tests from
+// the documented layout.
+func headerLen(h Header) int {
+	n := len(binaryMagic) + 2
+	var b []byte
+	for _, v := range []uint64{uint64(h.NumProcs), uint64(h.NumDisks), uint64(h.NumRequests), uint64(h.ChunkCap)} {
+		b = binary.AppendUvarint(b[:0], v)
+		n += len(b)
+	}
+	return n
+}
+
+// corruptTrace returns a small valid two-chunk encoding plus the offsets
+// of its first chunk frame.
+func corruptTrace(t *testing.T) (data []byte, frameOff int) {
+	t.Helper()
+	reqs := make([]Request, 10)
+	for i := range reqs {
+		reqs[i] = Request{Arrival: float64(i), Block: int64(100 + i), Size: 4096, Proc: i % 2}
+	}
+	var buf bytes.Buffer
+	h := Header{NumProcs: 2, NumDisks: 4, NumRequests: 10, ChunkCap: 6}
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), headerLen(w.Header())
+}
+
+// TestBinaryTruncation: every strict prefix of a valid trace must fail to
+// decode — a cut anywhere (mid-header, mid-frame, mid-payload, or at a
+// clean chunk boundary short of the declared total) is always detected.
+func TestBinaryTruncation(t *testing.T) {
+	data, _ := corruptTrace(t)
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeBinary(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("decode of %d/%d-byte prefix succeeded", n, len(data))
+		}
+	}
+	if _, err := DecodeBinary(bytes.NewReader(data)); err != nil {
+		t.Fatalf("decode of the full trace failed: %v", err)
+	}
+}
+
+// TestBinaryCorruption: targeted header and frame corruptions produce
+// errors (with the chunk index for framing violations), and flipping any
+// single byte anywhere never panics and never yields a silently wrong
+// request count.
+func TestBinaryCorruption(t *testing.T) {
+	data, frameOff := corruptTrace(t)
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), data...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"bad-magic":   mutate(func(b []byte) { b[0] ^= 0xff }),
+		"bad-version": mutate(func(b []byte) { b[4] = 99 }),
+		"zero-count": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[frameOff:], 0)
+		}),
+		"count-over-cap": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[frameOff:], 7) // ChunkCap is 6
+		}),
+		"payload-too-short": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[frameOff+4:], 3) // < count*4
+		}),
+		"payload-too-long": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[frameOff+4:], 6*maxReqEncoding+1)
+		}),
+	}
+	for name, b := range cases {
+		if _, err := DecodeBinary(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+
+	for i := range data {
+		for _, bit := range []byte{0x01, 0xff} {
+			b := append([]byte(nil), data...)
+			b[i] ^= bit
+			got, err := DecodeBinary(bytes.NewReader(b))
+			if err != nil {
+				continue
+			}
+			// A flip the framing cannot catch must still decode exactly the
+			// declared request count with finite arrivals.
+			if len(got) != 10 {
+				t.Fatalf("flip at %d: silent success with %d requests (want 10)", i, len(got))
+			}
+			for _, r := range got {
+				if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) {
+					t.Fatalf("flip at %d: silent success with non-finite arrival", i)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamDecodeAllocsPerChunk asserts the pooled-arena contract: once
+// the arena pool is warm, decoding is allocation-free per chunk — the
+// fixed per-reader setup cost amortizes to well under one allocation per
+// chunk over a many-chunk trace.
+func TestStreamDecodeAllocsPerChunk(t *testing.T) {
+	const chunkCap, chunks = 256, 64
+	reqs := make([]Request, chunkCap*chunks)
+	for i := range reqs {
+		reqs[i] = Request{Arrival: float64(i) * 1e-3, Block: int64(i % 4096), Size: 4096, Proc: i % 4}
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{NumProcs: 4, NumDisks: 8, NumRequests: int64(len(reqs)), ChunkCap: chunkCap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	decodeAll := func() {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			chunk, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			n += len(chunk)
+		}
+		rd.Close()
+		if n != len(reqs) {
+			t.Fatalf("decoded %d of %d requests", n, len(reqs))
+		}
+	}
+	decodeAll() // warm the arena pool
+	allocs := testing.AllocsPerRun(10, decodeAll)
+	if perChunk := allocs / chunks; perChunk >= 1 {
+		t.Errorf("%.1f allocs per full decode = %.2f per chunk; steady-state chunk decode must be allocation-free", allocs, perChunk)
+	}
+}
+
+// BenchmarkBinaryCodec tracks encode and streaming-decode throughput and
+// the bytes-per-request density of the format.
+func BenchmarkBinaryCodec(b *testing.B) {
+	const n = 1 << 16
+	reqs := make([]Request, n)
+	tt := 0.0
+	for i := range reqs {
+		tt += float64(i%7) * 1e-3
+		reqs[i] = Request{Arrival: tt, Block: int64((i * 13) % 65536), Size: 4096, Write: i%3 == 0, Proc: i % 4}
+	}
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, reqs, 4, 16); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportMetric(float64(len(data))/n, "B/req")
+
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := EncodeBinary(&buf, reqs, 4, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "reqs/s")
+	})
+	b.Run("decode-stream", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rd, err := NewReader(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				_, err := rd.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			rd.Close()
+		}
+		b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "reqs/s")
+	})
+}
+
+// FuzzTraceCodec feeds the binary decoder arbitrary bytes: it must never
+// panic, and any trace it accepts must re-encode and decode back to the
+// identical request sequence.
+func FuzzTraceCodec(f *testing.F) {
+	seedTraces := [][]Request{
+		{},
+		{{Arrival: 0.5, Block: 7, Size: 4096, Write: true, Proc: 1}},
+		{{Arrival: 1, Block: 10, Size: 512}, {Arrival: 2, Block: 11, Size: 512, Proc: 2}, {Arrival: 2, Block: 5, Size: 1024, Write: true}},
+	}
+	for _, reqs := range seedTraces {
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, reqs, 4, 8); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 8 {
+			cut := append([]byte(nil), buf.Bytes()[:buf.Len()/2]...)
+			f.Add(cut)
+			flip := append([]byte(nil), buf.Bytes()...)
+			flip[buf.Len()/2] ^= 0x40
+			f.Add(flip)
+		}
+	}
+	f.Add([]byte(binaryMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := DecodeBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		numProcs := 1
+		for i := range reqs {
+			if reqs[i].Proc >= numProcs {
+				numProcs = reqs[i].Proc + 1
+			}
+			if math.IsNaN(reqs[i].Arrival) || math.IsInf(reqs[i].Arrival, 0) {
+				t.Fatalf("decoder accepted a non-finite arrival")
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, reqs, numProcs, 1); err != nil {
+			t.Fatalf("re-encode of an accepted trace failed: %v", err)
+		}
+		again, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of a re-encoded trace failed: %v", err)
+		}
+		if len(reqs) == 0 && len(again) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(reqs, again) {
+			t.Fatalf("re-encode round trip changed the trace")
+		}
+	})
+}
+
+// TestSynthWriteStream checks the multi-tenant synthesizer's contract:
+// deterministic output for a seed, globally arrival-sorted, the declared
+// request count split across all tenants, and blocks inside each tenant's
+// private region.
+func TestSynthWriteStream(t *testing.T) {
+	cfg := SynthConfig{Tenants: 5, Requests: 4000, NumDisks: 8, Seed: 42, ChunkCap: 512}
+	var a, b bytes.Buffer
+	hdrA, err := WriteSynthetic(&a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSynthetic(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same config and seed produced different byte streams")
+	}
+	if hdrA.NumProcs != 5 || hdrA.NumRequests != 4000 || hdrA.NumDisks != 8 {
+		t.Fatalf("unexpected header %+v", hdrA)
+	}
+	reqs, err := DecodeBinary(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(reqs)) != cfg.Requests {
+		t.Fatalf("decoded %d requests, want %d", len(reqs), cfg.Requests)
+	}
+	if !SortedByArrival(reqs) {
+		t.Fatal("synthesized trace is not arrival-sorted")
+	}
+	perTenant := make([]int64, cfg.Tenants)
+	region := int64(cfg.NumDisks) * 64 * synthStripePages
+	diskOf := SynthDiskOf(cfg.NumDisks)
+	for i, r := range reqs {
+		if r.Proc < 0 || r.Proc >= cfg.Tenants {
+			t.Fatalf("request %d: proc %d outside 0..%d", i, r.Proc, cfg.Tenants-1)
+		}
+		perTenant[r.Proc]++
+		base := int64(r.Proc) * region
+		if r.Block < base || r.Block >= base+region {
+			t.Fatalf("request %d: block %d outside tenant %d's region [%d, %d)", i, r.Block, r.Proc, base, base+region)
+		}
+		d, err := diskOf(r.Block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 0 || d >= cfg.NumDisks {
+			t.Fatalf("request %d: disk %d outside 0..%d", i, d, cfg.NumDisks-1)
+		}
+	}
+	for p, n := range perTenant {
+		if n != 800 {
+			t.Errorf("tenant %d issued %d requests, want an even 800", p, n)
+		}
+	}
+}

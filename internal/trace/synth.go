@@ -1,0 +1,286 @@
+// Multi-tenant workload synthesizer: many phase-shifted application
+// instances merged onto one disk array, written directly to the chunked
+// binary format. This is the `dpcbench -scale` workload — the regime where
+// online energy-aware policies are evaluated: each tenant alternates
+// bursts of spatially local requests with long think periods, and the
+// tenants' phases are staggered so the array sees overlapping bursts
+// rather than lockstep idleness. The generators are merged with a K-way
+// heap, so a trace of any length is produced in one pass with O(tenants)
+// state — nothing is ever materialized in memory.
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+)
+
+// SynthConfig parameterizes the multi-tenant synthesizer. The zero value
+// of every field except Tenants and Requests selects a default.
+type SynthConfig struct {
+	// Tenants is the number of phase-shifted application instances; each
+	// tenant issues its requests as one processor (Proc = tenant id).
+	Tenants int
+	// Requests is the total request count across all tenants.
+	Requests int64
+	// NumDisks is the disk count recorded in the header and used to size
+	// the tenants' block regions across the array. Zero selects 16.
+	NumDisks int
+	// Seed makes the workload reproducible; the same config and seed
+	// always produce the identical byte stream.
+	Seed int64
+	// PageSize is the request size in bytes (default 4096).
+	PageSize int64
+	// RegionPages is each tenant's private block region in pages; zero
+	// selects 64 stripes' worth per disk (NumDisks * 64 * stripe pages).
+	RegionPages int64
+	// BurstLen is the mean requests per burst (default 512).
+	BurstLen int
+	// IntraGap is the mean seconds between requests inside a burst
+	// (default 2 ms).
+	IntraGap float64
+	// IdleGap is the mean think time between a tenant's bursts (default
+	// 30 s — comfortably past the Ultrastar's 15.2 s break-even, so TPM
+	// and DRPM have real idleness to harvest).
+	IdleGap float64
+	// PhaseShift is the stagger between tenant start times; zero selects
+	// IdleGap / Tenants, spreading the tenants' bursts over the cycle.
+	PhaseShift float64
+	// WritePct is the percentage of write requests (default 30).
+	WritePct int
+	// RunLen is the mean sequential run length in pages before the block
+	// cursor jumps within the region (default 64 — strong locality, the
+	// regime compiler-restructured codes produce).
+	RunLen int
+	// ChunkCap overrides the binary chunk capacity (0 = default).
+	ChunkCap int
+}
+
+// synthStripePages is the stripe extent (in pages) the synthesizer lays
+// tenant regions out with; consumers replaying the trace should stripe
+// with the same unit to reproduce the intended per-disk interleave.
+const synthStripePages = 8
+
+func (c SynthConfig) withDefaults() (SynthConfig, error) {
+	if c.Tenants <= 0 {
+		return c, fmt.Errorf("trace: synth Tenants %d must be positive", c.Tenants)
+	}
+	if c.Requests <= 0 {
+		return c, fmt.Errorf("trace: synth Requests %d must be positive", c.Requests)
+	}
+	if c.NumDisks == 0 {
+		c.NumDisks = 16
+	}
+	if c.NumDisks < 0 {
+		return c, fmt.Errorf("trace: synth NumDisks %d must be >= 0", c.NumDisks)
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = 4096
+	}
+	if c.RegionPages <= 0 {
+		c.RegionPages = int64(c.NumDisks) * 64 * synthStripePages
+	}
+	if c.BurstLen <= 0 {
+		c.BurstLen = 512
+	}
+	if c.IntraGap <= 0 {
+		c.IntraGap = 2e-3
+	}
+	if c.IdleGap <= 0 {
+		c.IdleGap = 30
+	}
+	if c.PhaseShift == 0 {
+		c.PhaseShift = c.IdleGap / float64(c.Tenants)
+	}
+	if c.PhaseShift < 0 {
+		return c, fmt.Errorf("trace: synth PhaseShift %v must be >= 0", c.PhaseShift)
+	}
+	if c.WritePct == 0 {
+		c.WritePct = 30
+	}
+	if c.WritePct < 0 || c.WritePct > 100 {
+		return c, fmt.Errorf("trace: synth WritePct %d must be in 0..100", c.WritePct)
+	}
+	if c.RunLen <= 0 {
+		c.RunLen = 64
+	}
+	return c, nil
+}
+
+// synthRNG is a self-contained xorshift64* generator, so synthesized
+// workloads are reproducible across Go releases (math/rand makes no such
+// promise for its stream).
+type synthRNG uint64
+
+func newSynthRNG(seed int64) *synthRNG {
+	s := synthRNG(seed)*2685821657736338717 + 1442695040888963407
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return &s
+}
+
+func (r *synthRNG) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = synthRNG(x)
+	return x * 2685821657736338717
+}
+
+func (r *synthRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// float unit-interval sample with 53 bits of the stream.
+func (r *synthRNG) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// tenant is one synthetic application instance: a monotone request
+// generator with burst/think alternation and a local block cursor.
+type tenant struct {
+	id        int
+	rng       *synthRNG
+	remaining int64
+	clock     float64 // arrival of the pending request
+	burstLeft int     // requests left in the current burst
+	cursor    int64   // block cursor within the tenant's region
+	base      int64   // region base block
+	pending   Request
+}
+
+// advance produces the tenant's next request into pending. The clock is
+// strictly nondecreasing, which the K-way merge depends on.
+func (t *tenant) advance(cfg *SynthConfig) {
+	r := t.rng
+	if t.burstLeft == 0 {
+		// Think period, exponential-ish around IdleGap: 0.5–1.5 mean.
+		t.clock += cfg.IdleGap * (0.5 + r.float())
+		t.burstLeft = 1 + r.intn(2*cfg.BurstLen)
+	} else {
+		t.clock += cfg.IntraGap * (0.5 + r.float())
+	}
+	t.burstLeft--
+	if r.intn(cfg.RunLen) == 0 {
+		t.cursor = int64(r.intn(int(cfg.RegionPages)))
+	} else {
+		t.cursor++
+		if t.cursor >= cfg.RegionPages {
+			t.cursor = 0
+		}
+	}
+	t.pending = Request{
+		Arrival: t.clock,
+		Block:   t.base + t.cursor,
+		Size:    cfg.PageSize,
+		Write:   r.intn(100) < cfg.WritePct,
+		Proc:    t.id,
+	}
+	t.remaining--
+}
+
+// tenantHeap orders tenants by pending arrival, tenant id as tie-break, so
+// the merged stream depends only on the config and seed.
+type tenantHeap []*tenant
+
+func (h tenantHeap) Len() int { return len(h) }
+func (h tenantHeap) Less(i, j int) bool {
+	if h[i].pending.Arrival != h[j].pending.Arrival {
+		return h[i].pending.Arrival < h[j].pending.Arrival
+	}
+	return h[i].id < h[j].id
+}
+func (h tenantHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *tenantHeap) Push(x any)   { *h = append(*h, x.(*tenant)) }
+func (h *tenantHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// WriteSynthetic streams a synthesized multi-tenant trace to w in the
+// binary format and returns the header it wrote. The output is globally
+// sorted by arrival (the merge invariant), so it replays through the
+// streaming simulator directly.
+func WriteSynthetic(w io.Writer, cfg SynthConfig) (Header, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Header{}, err
+	}
+	hdr := Header{
+		NumProcs:    cfg.Tenants,
+		NumDisks:    cfg.NumDisks,
+		NumRequests: cfg.Requests,
+		ChunkCap:    cfg.ChunkCap,
+	}
+	bw, err := NewWriter(w, hdr)
+	if err != nil {
+		return Header{}, err
+	}
+	perTenant := cfg.Requests / int64(cfg.Tenants)
+	extra := cfg.Requests % int64(cfg.Tenants)
+	hs := make(tenantHeap, 0, cfg.Tenants)
+	for i := 0; i < cfg.Tenants; i++ {
+		n := perTenant
+		if int64(i) < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		t := &tenant{
+			id:        i,
+			rng:       newSynthRNG(cfg.Seed ^ int64(i)*0x5deece66d),
+			remaining: n,
+			clock:     float64(i) * cfg.PhaseShift,
+			base:      int64(i) * cfg.RegionPages,
+		}
+		t.advance(&cfg)
+		hs = append(hs, t)
+	}
+	heap.Init(&hs)
+
+	buf := make([]Request, 0, 1024)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		err := bw.Write(buf)
+		buf = buf[:0]
+		return err
+	}
+	for hs.Len() > 0 {
+		t := hs[0]
+		buf = append(buf, t.pending)
+		if len(buf) == cap(buf) {
+			if err := flush(); err != nil {
+				return Header{}, err
+			}
+		}
+		if t.remaining > 0 {
+			t.advance(&cfg)
+			heap.Fix(&hs, 0)
+		} else {
+			heap.Pop(&hs)
+		}
+	}
+	if err := flush(); err != nil {
+		return Header{}, err
+	}
+	if err := bw.Close(); err != nil {
+		return Header{}, err
+	}
+	return bw.Header(), nil
+}
+
+// SynthDiskOf returns the block→disk mapping matching the synthesizer's
+// layout assumptions: round-robin striping of synthStripePages-page
+// stripes over numDisks disks.
+func SynthDiskOf(numDisks int) func(block int64) (int, error) {
+	return func(block int64) (int, error) {
+		if block < 0 {
+			return 0, fmt.Errorf("trace: negative block %d", block)
+		}
+		return int((block / synthStripePages) % int64(numDisks)), nil
+	}
+}
