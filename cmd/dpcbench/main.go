@@ -16,6 +16,8 @@
 //	dpcbench -all -trace-out trace.json    # Chrome trace of the pipeline (Perfetto)
 //	dpcbench -all -cpuprofile cpu.pprof -memprofile mem.pprof
 //	dpcbench -scale 10000000 -tenants 8    # multi-tenant out-of-core streaming benchmark
+//	dpcbench -layoutsearch fft             # beam search over per-array stripe layouts
+//	dpcbench -layoutsearch fft -phased     # phase-aware layout reconfiguration search
 //
 // The evaluation grid (app × version × procs) is embarrassingly parallel;
 // -jobs bounds the worker pool (0 = GOMAXPROCS) and reaches every layer:
@@ -63,6 +65,8 @@ type options struct {
 	// scale selects the multi-tenant out-of-core streaming benchmark
 	// instead of the paper suite (see scale.go).
 	scale scaleOptions
+	// search selects the layout search engine (-layoutsearch APP).
+	search searchOptions
 }
 
 func main() {
@@ -88,6 +92,10 @@ func main() {
 	flag.StringVar(&o.scale.file, "scale-file", "", "keep the synthesized binary trace at this path (default: a temp file, removed)")
 	flag.Int64Var(&o.scale.maxHeap, "scale-maxheap", 0, "fail the -scale run if the peak heap (runtime HeapSys) exceeds this many bytes")
 	flag.Int64Var(&o.scale.seed, "scale-seed", 1, "workload seed for -scale")
+	flag.StringVar(&o.search.app, "layoutsearch", "", "run the layout search engine on this application (a Table 2 app name) and print the final beam")
+	flag.BoolVar(&o.search.phased, "phased", false, "with -layoutsearch: split at nest boundaries and search per-phase layouts under the migration-cost model")
+	flag.IntVar(&o.search.beam, "beam", 0, "with -layoutsearch: beam width (0 = default)")
+	flag.IntVar(&o.search.rounds, "rounds", 0, "with -layoutsearch: max expansion rounds (0 = default)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dpcbench:", err)
@@ -123,6 +131,9 @@ func run(o options) (err error) {
 	}()
 	if o.scale.requests > 0 {
 		return runScale(o.scale, o.jobs)
+	}
+	if o.search.app != "" {
+		return runLayoutSearch(o, size)
 	}
 	engine, err := interp.ParseEngine(o.engine)
 	if err != nil {

@@ -276,3 +276,24 @@ func TestProfileFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestLayoutSearch(t *testing.T) {
+	out := capture(t, func() error {
+		return run(options{size: "tiny", jobs: 1, search: searchOptions{app: "fft", beam: 4, rounds: 2}})
+	})
+	if !strings.Contains(out, "Layout search: FFT") || !strings.Contains(out, "final beam") ||
+		!strings.Contains(out, "candidates/s") {
+		t.Errorf("layout search output:\n%s", out)
+	}
+}
+
+func TestLayoutSearchPhased(t *testing.T) {
+	out := capture(t, func() error {
+		return run(options{size: "tiny", jobs: 1, search: searchOptions{app: "fft", phased: true, beam: 4, rounds: 2}})
+	})
+	if !strings.Contains(out, "phase-aware search: 4 phases") ||
+		!strings.Contains(out, "policy TPM") || !strings.Contains(out, "policy DRPM") ||
+		!strings.Contains(out, "migration rate") {
+		t.Errorf("phased layout search output:\n%s", out)
+	}
+}

@@ -10,6 +10,7 @@
 //	dpcc -report text file.drl         # stage-timing report (text, json, csv)
 //	dpcc -fuzz-case corpusfile         # replay a FuzzPipeline corpus entry
 //	dpcc -fuzz-seed 42                 # replay a drlgen seed through the checker
+//	dpcc -layoutsearch file.drl        # beam search over per-array stripe layouts
 //
 // With no file the program is read from standard input. When stdout
 // carries a machine-readable report (-report json/csv), the compiler's
@@ -23,10 +24,12 @@ import (
 	"io"
 	"os"
 
+	"diskreuse/internal/apps"
 	"diskreuse/internal/core"
 	"diskreuse/internal/dep"
 	"diskreuse/internal/interp"
 	"diskreuse/internal/layout"
+	"diskreuse/internal/layoutopt"
 	"diskreuse/internal/obs"
 	"diskreuse/internal/par"
 	"diskreuse/internal/parser"
@@ -49,6 +52,10 @@ type options struct {
 	// (when non-empty, a decimal seed) does the same from a drlgen seed.
 	fuzzCase string
 	fuzzSeed string
+	// layoutSearch runs the layoutopt beam search on the compiled program;
+	// computePerIter is the per-iteration CPU time its traces assume.
+	layoutSearch   bool
+	computePerIter float64
 	// srcPath is the positional DRL file; empty reads stdin.
 	srcPath string
 }
@@ -67,6 +74,8 @@ func main() {
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	flag.StringVar(&o.fuzzCase, "fuzz-case", "", "replay a FuzzPipeline corpus file (or raw bytes) as a human-readable invariant repro")
 	flag.StringVar(&o.fuzzSeed, "fuzz-seed", "", "replay a drlgen seed through the invariant checker")
+	flag.BoolVar(&o.layoutSearch, "layoutsearch", false, "run the layout search engine's beam search over the program's per-array stripe layouts and print the winner")
+	flag.Float64Var(&o.computePerIter, "compute-per-iter", 1e-3, "CPU seconds per loop iteration assumed by -layoutsearch trace generation")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		o.srcPath = flag.Arg(0)
@@ -205,6 +214,33 @@ func run(o options) (err error) {
 			return cerr
 		}
 		fmt.Fprintln(out, code)
+	}
+
+	if o.layoutSearch {
+		name := o.srcPath
+		if name == "" {
+			name = "stdin"
+		}
+		a := apps.App{Name: name, Source: string(src), ComputePerIter: o.computePerIter}
+		e, serr := layoutopt.NewEngine(a, 0)
+		if serr != nil {
+			return serr
+		}
+		res, serr := e.Search(layoutopt.SearchOptions{Jobs: o.jobs, Span: root})
+		if serr != nil {
+			return serr
+		}
+		fmt.Fprintf(out, "layout search: %d candidates in %d rounds (cache %d hits / %d misses)\n",
+			res.Candidates, res.Rounds, res.CacheHits, res.CacheMisses)
+		for i, s := range res.Beam {
+			fmt.Fprintf(out, "  %d.", i+1)
+			for ai, spec := range s.Assignment {
+				fmt.Fprintf(out, " %s=%s", prog.Arrays[ai].Name,
+					layoutopt.Candidate{Unit: spec.Unit, Factor: spec.Factor, Start: spec.Start})
+			}
+			fmt.Fprintf(out, "  T-TPM %.2f J  T-DRPM %.2f J  base %.2f J  runs %d  disks %d\n",
+				s.TTPMEnergy, s.TDRPMEnergy, s.BaseEnergy, s.Runs, s.NumDisks)
+		}
 	}
 	root.End()
 

@@ -211,3 +211,13 @@ func TestTraceAndReport(t *testing.T) {
 		t.Errorf("trace missing compiler spans (have %v)", names)
 	}
 }
+
+func TestLayoutSearchFlag(t *testing.T) {
+	out := withStdio(t, testSrc, func() error {
+		return run(options{showStats: true, jobs: 1, layoutSearch: true, computePerIter: 1e-3})
+	})
+	if !strings.Contains(out, "layout search:") || !strings.Contains(out, "T-DRPM") ||
+		!strings.Contains(out, "A=unit=") {
+		t.Errorf("layout search output:\n%s", out)
+	}
+}

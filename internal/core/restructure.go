@@ -9,7 +9,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 
@@ -207,19 +206,50 @@ func (r *Restructurer) OriginalSchedule() *Schedule {
 }
 
 // idHeap is a min-heap of iteration ids (original program order), used as
-// the per-disk ready queue.
+// the per-disk ready queue. It is a hand-rolled binary heap rather than a
+// container/heap adapter: the scheduler pushes one id per iteration, and
+// boxing each into an interface value dominated scheduling time. Ids are
+// unique, so min-extraction order — and hence the schedule — is identical
+// to the generic heap's.
 type idHeap []int
 
-func (h idHeap) Len() int           { return len(h) }
-func (h idHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h idHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *idHeap) Push(x any)        { *h = append(*h, x.(int)) }
-func (h *idHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *idHeap) push(id int) {
+	q := append(*h, id)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent] <= q[i] {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *idHeap) pop() int {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		if r := l + 1; r < last && q[r] < q[l] {
+			l = r
+		}
+		if q[i] <= q[l] {
+			break
+		}
+		q[i], q[l] = q[l], q[i]
+		i = l
+	}
+	*h = q
+	return top
 }
 
 // DiskReuseSchedule computes the restructured execution order of Fig. 3:
@@ -297,7 +327,7 @@ func scheduleFig3(numDisks int, members []int, inSet []bool,
 	pending := 0
 	for _, id := range members {
 		if indeg[id] == 0 {
-			heap.Push(&queues[primary[id]], id)
+			queues[primary[id]].push(id)
 		}
 		pending++
 	}
@@ -307,7 +337,7 @@ func scheduleFig3(numDisks int, members []int, inSet []bool,
 	d := 0
 	idleRounds := 0
 	for pending > 0 {
-		if queues[d].Len() == 0 {
+		if len(queues[d]) == 0 {
 			d = (d + 1) % numDisks
 			idleRounds++
 			if idleRounds > numDisks {
@@ -319,8 +349,8 @@ func scheduleFig3(numDisks int, members []int, inSet []bool,
 			continue
 		}
 		idleRounds = 0
-		for queues[d].Len() > 0 {
-			id := heap.Pop(&queues[d]).(int)
+		for len(queues[d]) > 0 {
+			id := queues[d].pop()
 			order = append(order, id)
 			disks = append(disks, d)
 			pending--
@@ -330,7 +360,7 @@ func scheduleFig3(numDisks int, members []int, inSet []bool,
 				}
 				indeg[v]--
 				if indeg[v] == 0 {
-					heap.Push(&queues[primary[v]], int(v))
+					queues[primary[v]].push(int(v))
 				}
 			}
 		}
@@ -344,6 +374,65 @@ func scheduleFig3(numDisks int, members []int, inSet []bool,
 // iterations separately, §6.2).
 func (r *Restructurer) ScheduleFor(subset []int) (*Schedule, error) {
 	return r.scheduleSubset(subset)
+}
+
+// ScheduleWithPrimary runs the Fig. 3 scheduler over the whole iteration
+// space under a caller-supplied primary-disk attribution and disk count,
+// instead of the one the Restructurer computed from its own layout. The
+// iteration space and dependence graph are layout-independent, so a layout
+// search can build the Restructurer once and reschedule per candidate
+// layout by re-deriving only the primary vector — exactly the schedule a
+// fresh Restructurer over that layout would produce, without re-running
+// the front end. primary must have one entry per iteration, each in
+// [0, numDisks).
+func (r *Restructurer) ScheduleWithPrimary(numDisks int, primary []int) (*Schedule, error) {
+	return r.ScheduleSubsetWithPrimary(numDisks, primary, nil)
+}
+
+// ScheduleSubsetWithPrimary is ScheduleWithPrimary restricted to an
+// iteration subset (nil means all): dependence edges inside the subset are
+// enforced, edges entering from outside are assumed satisfied by the
+// caller's inter-subset ordering (e.g. phase barriers). This is the
+// per-phase leg of the phase-aware layout search.
+func (r *Restructurer) ScheduleSubsetWithPrimary(numDisks int, primary []int, subset []int) (*Schedule, error) {
+	n := r.Space.NumIterations()
+	if numDisks <= 0 {
+		return nil, fmt.Errorf("core: numDisks %d must be positive", numDisks)
+	}
+	if len(primary) != n {
+		return nil, fmt.Errorf("core: primary vector has %d entries for %d iterations", len(primary), n)
+	}
+	inSubset := make([]bool, n)
+	var members []int
+	if subset == nil {
+		members = make([]int, n)
+		for i := range members {
+			members[i] = i
+			inSubset[i] = true
+		}
+	} else {
+		members = subset
+		for _, id := range subset {
+			if id < 0 || id >= n {
+				return nil, fmt.Errorf("core: subset id %d out of range", id)
+			}
+			if inSubset[id] {
+				return nil, fmt.Errorf("core: subset id %d duplicated", id)
+			}
+			inSubset[id] = true
+		}
+	}
+	for _, id := range members {
+		if d := primary[id]; d < 0 || d >= numDisks {
+			return nil, fmt.Errorf("core: primary disk %d of iteration %d outside 0..%d", d, id, numDisks-1)
+		}
+	}
+	order, disks, err := scheduleFig3(numDisks, members, inSubset,
+		primary, r.Graph.Preds, r.Graph.Succs)
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{Order: order, Disk: disks, Space: r.Space}, nil
 }
 
 // Verify checks the schedule against the exact dependence graph.

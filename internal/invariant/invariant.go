@@ -1,7 +1,7 @@
 // Package invariant is the correctness harness for the whole pipeline: it
 // runs a DRL program (typically produced by internal/drlgen) through
 // compile → restructure → trace generation → simulation and asserts the
-// load-bearing properties end to end, in seven families:
+// load-bearing properties end to end, in eight families:
 //
 //  1. Legality — the disk-reuse schedule is a permutation of the iteration
 //     space and passes interp.Space.VerifySchedule.
@@ -24,6 +24,10 @@
 //     (binary encode → chunked decode → sim.RunStream) produces the same
 //     Result, interval stream, and telemetry as the in-memory replay, bit
 //     for bit, at Jobs=1 and Jobs=N.
+//  8. Layout-search fidelity — the re-attribution scoring engine's beam
+//     search is bit-identical at Jobs=1 and Jobs=N, and every beam
+//     survivor's score matches a from-scratch full-pipeline evaluation of
+//     that per-array layout, bit for bit (CheckLayoutSearch).
 //
 // These are exactly the assumptions the paper's claims rest on (§5 legality
 // of the Fig. 3 reordering, §7 fidelity of the energy accounting), turned

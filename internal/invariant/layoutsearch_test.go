@@ -1,0 +1,24 @@
+package invariant
+
+import (
+	"fmt"
+	"testing"
+
+	"diskreuse/internal/drlgen"
+)
+
+// TestCheckLayoutSearchGenerated runs family 8 over 50 generated programs:
+// the beam search is bit-identical at Jobs=1 and Jobs=8, and every beam
+// survivor's score matches the independent full pipeline exactly.
+func TestCheckLayoutSearchGenerated(t *testing.T) {
+	const seeds = 50
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			c := drlgen.Generate(seed, drlgen.Config{})
+			if err := CheckLayoutSearch(c.Source, 8); err != nil {
+				t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, c.Source)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"diskreuse/internal/ast"
 	"diskreuse/internal/sema"
 )
 
@@ -110,9 +111,18 @@ func (l *Layout) ElemByte(a *sema.Array, lin int64) (int64, error) {
 	return ext.Base + lin*a.ElemSize, nil
 }
 
+// SpecDisk returns the disk of the byte at file-relative offset off under
+// stripe spec s — the striping rule of §2 factored out as a pure function:
+// consecutive stripe-unit-sized chunks of the file go to consecutive disks
+// round-robin, beginning at the start disk. ElemDisk and PageDisk apply it
+// through a built Layout; the layout search's re-attribution scorer applies
+// it directly to candidate specs without building one.
+func SpecDisk(s ast.StripeSpec, off int64) int {
+	return s.Start + int((off/s.Unit)%int64(s.Factor))
+}
+
 // ElemDisk returns the disk (I/O node) holding element lin of array a,
-// per the striping rule of §2: consecutive stripe-unit-sized chunks of the
-// file go to consecutive disks round-robin, beginning at the start disk.
+// per the striping rule of §2.
 func (l *Layout) ElemDisk(a *sema.Array, lin int64) (int, error) {
 	if _, err := l.extentOf(a); err != nil {
 		return 0, err
@@ -121,9 +131,7 @@ func (l *Layout) ElemDisk(a *sema.Array, lin int64) (int, error) {
 		return 0, fmt.Errorf("layout: element %d out of range for array %s (%d elements)",
 			lin, a.Name, a.Elems())
 	}
-	byteInFile := lin * a.ElemSize
-	stripe := byteInFile / a.Stripe.Unit
-	return a.Stripe.Start + int(stripe%int64(a.Stripe.Factor)), nil
+	return SpecDisk(a.Stripe, lin*a.ElemSize), nil
 }
 
 // ElemPage returns the global logical page number of element lin of a.
@@ -154,8 +162,7 @@ func (l *Layout) PageDisk(page int64) (int, error) {
 	if off >= a.Bytes() {
 		return 0, fmt.Errorf("layout: page %d falls in inter-file padding or past end", page)
 	}
-	stripe := off / a.Stripe.Unit
-	return a.Stripe.Start + int(stripe%int64(a.Stripe.Factor)), nil
+	return SpecDisk(a.Stripe, off), nil
 }
 
 // ArrayOfPage returns the array whose file contains the page, or nil for

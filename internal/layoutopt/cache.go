@@ -1,0 +1,57 @@
+package layoutopt
+
+import "container/list"
+
+// lruCache is a small string-keyed LRU used for candidate scores and for
+// memoized restructured schedules. Both caches are keyed by canonical
+// layout text (see canonKey), so permuted-but-equivalent layouts — e.g.
+// candidates whose stripe units differ only beyond an array's extent, or
+// factor-1 stripings with different units — deliberately collide and share
+// one entry. Callers guard it with the engine mutex; the cache itself is
+// not concurrency-safe.
+type lruCache struct {
+	cap int
+	m   map[string]*list.Element
+	l   *list.List
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{cap: capacity, m: make(map[string]*list.Element, capacity), l: list.New()}
+}
+
+// get returns the cached value and refreshes its recency.
+func (c *lruCache) get(key string) (any, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.l.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) key, evicting the least recently used entry
+// when the cache is full.
+func (c *lruCache) add(key string, val any) {
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.l.MoveToFront(el)
+		return
+	}
+	if c.l.Len() >= c.cap {
+		back := c.l.Back()
+		delete(c.m, back.Value.(*lruEntry).key)
+		c.l.Remove(back)
+	}
+	c.m[key] = c.l.PushFront(&lruEntry{key: key, val: val})
+}
+
+// len returns the number of resident entries.
+func (c *lruCache) len() int { return c.l.Len() }

@@ -35,13 +35,18 @@ func (c Candidate) String() string {
 	return fmt.Sprintf("unit=%dKB factor=%d start=%d", c.Unit>>10, c.Factor, c.Start)
 }
 
-// DefaultCandidates is the search space: stripe units from 16 KB to 128 KB
-// and 2 to 16 disks.
+// DefaultCandidates is the uniform search space: stripe units from 16 KB
+// to 128 KB, 2 to 16 disks, and starting disks 0 and 1. (The start-disk
+// dimension was long advertised by Candidate but never generated — every
+// candidate was pinned to disk 0, so layouts reachable only by rotating
+// arrays off the first disk were never tried.)
 func DefaultCandidates() []Candidate {
 	var out []Candidate
 	for _, unit := range []int64{16 << 10, 32 << 10, 64 << 10, 128 << 10} {
 		for _, factor := range []int{2, 4, 8, 16} {
-			out = append(out, Candidate{Unit: unit, Factor: factor})
+			for _, start := range []int{0, 1} {
+				out = append(out, Candidate{Unit: unit, Factor: factor, Start: start})
+			}
 		}
 	}
 	return out
@@ -134,7 +139,9 @@ func Evaluate(a apps.App, c Candidate) (Result, error) {
 
 // Optimize evaluates every candidate (DefaultCandidates when nil) and
 // returns the one with the lowest transformed energy, along with all
-// results in evaluation order.
+// results in evaluation order. Scoring goes through the re-attribution
+// engine — compile once, score each candidate without re-running the front
+// end — and is bit-for-bit identical to calling Evaluate per candidate.
 func Optimize(a apps.App, candidates []Candidate) (Result, []Result, error) {
 	if candidates == nil {
 		candidates = DefaultCandidates()
@@ -142,15 +149,25 @@ func Optimize(a apps.App, candidates []Candidate) (Result, []Result, error) {
 	if len(candidates) == 0 {
 		return Result{}, nil, fmt.Errorf("layoutopt: no candidates")
 	}
+	e, err := NewEngine(a, 0)
+	if err != nil {
+		return Result{}, nil, fmt.Errorf("layoutopt: %s: %w", a.Name, err)
+	}
 	var all []Result
 	best := -1
 	for _, c := range candidates {
-		r, err := Evaluate(a, c)
+		sc, err := e.Score(Uniform(e.NumArrays(), c))
 		if err != nil {
 			return Result{}, nil, fmt.Errorf("layoutopt: %s under %s: %w", a.Name, c, err)
 		}
-		all = append(all, r)
-		if best < 0 || r.Best() < all[best].Best() {
+		all = append(all, Result{
+			Candidate:   c,
+			BaseEnergy:  sc.BaseEnergy,
+			TTPMEnergy:  sc.TTPMEnergy,
+			TDRPMEnergy: sc.TDRPMEnergy,
+			Runs:        sc.Runs,
+		})
+		if best < 0 || all[len(all)-1].Best() < all[best].Best() {
 			best = len(all) - 1
 		}
 	}

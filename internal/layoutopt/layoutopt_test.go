@@ -73,18 +73,25 @@ func TestReport(t *testing.T) {
 
 func TestDefaultCandidates(t *testing.T) {
 	cs := DefaultCandidates()
-	if len(cs) != 16 {
+	if len(cs) != 32 {
 		t.Fatalf("candidates = %d", len(cs))
 	}
 	seen := map[Candidate]bool{}
+	starts := map[int]bool{}
 	for _, c := range cs {
 		if seen[c] {
 			t.Fatalf("duplicate candidate %v", c)
 		}
 		seen[c] = true
+		starts[c.Start] = true
 		if c.Unit < 16<<10 || c.Factor < 2 {
 			t.Errorf("implausible candidate %v", c)
 		}
+	}
+	// Regression: the generator used to pin Start to 0, so the start-disk
+	// dimension of the space was silently never explored.
+	if !starts[0] || !starts[1] || len(starts) != 2 {
+		t.Fatalf("start disks covered = %v, want {0, 1}", starts)
 	}
 }
 

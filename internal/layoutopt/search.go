@@ -1,0 +1,286 @@
+package layoutopt
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"diskreuse/internal/conc"
+	"diskreuse/internal/obs"
+)
+
+// SearchOptions configures the beam search over per-array layouts.
+type SearchOptions struct {
+	// Units and Factors are the stripe-unit and stripe-factor menus a
+	// mutation may pick from. Nil selects the defaults (16–128 KB, 2–16).
+	Units   []int64
+	Factors []int
+	// MaxDisks bounds start+factor for every array (default 16).
+	MaxDisks int
+	// BeamWidth is the number of survivors kept per round (default 8).
+	BeamWidth int
+	// MaxRounds bounds the number of expansion rounds (default 12).
+	MaxRounds int
+	// Jobs bounds the scoring worker pool per round: 0 selects GOMAXPROCS,
+	// 1 forces serial scoring; negative values are rejected. The beam is
+	// bit-identical at any Jobs value.
+	Jobs int
+	// Span, when non-nil, receives one "layout-search" child with a
+	// "beam-round" child per round and a "score" child per scored
+	// candidate, so Chrome traces show search occupancy.
+	Span *obs.Span
+}
+
+func (o SearchOptions) withDefaults() SearchOptions {
+	if o.Units == nil {
+		o.Units = []int64{16 << 10, 32 << 10, 64 << 10, 128 << 10}
+	}
+	if o.Factors == nil {
+		o.Factors = []int{2, 4, 8, 16}
+	}
+	if o.MaxDisks <= 0 {
+		o.MaxDisks = 16
+	}
+	if o.BeamWidth <= 0 {
+		o.BeamWidth = 8
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 12
+	}
+	return o
+}
+
+// SearchResult reports one beam search.
+type SearchResult struct {
+	// Best is the lowest-Best() survivor; its BaseEnergy is filled in.
+	Best *Score
+	// Beam is the final beam, best first, Base energies filled in.
+	Beam []*Score
+	// Rounds is the number of expansion rounds run.
+	Rounds int
+	// Candidates counts candidates the search processed (scored or
+	// resolved from the score cache); Scored counts actual evaluations.
+	Candidates int
+	Scored     int
+	// CacheHits/CacheMisses snapshot the engine's score-cache counters
+	// over the search.
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// dominated reports whether s is Pareto-dominated by t on the two
+// transformed energies: t is no worse on both and strictly better on one.
+func dominated(s, t *Score) bool {
+	if t.TTPMEnergy > s.TTPMEnergy || t.TDRPMEnergy > s.TDRPMEnergy {
+		return false
+	}
+	return t.TTPMEnergy < s.TTPMEnergy || t.TDRPMEnergy < s.TDRPMEnergy
+}
+
+// pruneDominated drops Pareto-dominated scores, preserving order.
+func pruneDominated(pool []*Score) []*Score {
+	out := pool[:0]
+	for _, s := range pool {
+		keep := true
+		for _, t := range pool {
+			if t != s && dominated(s, t) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// sortBeam orders scores best-first with full deterministic tie-breaks.
+func sortBeam(beam []*Score) {
+	sort.Slice(beam, func(i, j int) bool {
+		a, b := beam[i], beam[j]
+		if a.Best() != b.Best() {
+			return a.Best() < b.Best()
+		}
+		if a.TTPMEnergy != b.TTPMEnergy {
+			return a.TTPMEnergy < b.TTPMEnergy
+		}
+		if a.TDRPMEnergy != b.TDRPMEnergy {
+			return a.TDRPMEnergy < b.TDRPMEnergy
+		}
+		return a.Key < b.Key
+	})
+}
+
+// seeds returns the initial candidate set: the declared assignment plus the
+// uniform grid over the option menus (including start-disk variants, the
+// space DefaultCandidates historically never covered).
+func (e *Engine) seeds(opt SearchOptions) []Assignment {
+	out := []Assignment{e.Declared()}
+	for _, u := range opt.Units {
+		for _, f := range opt.Factors {
+			for _, s := range []int{0, 1} {
+				if s+f > opt.MaxDisks {
+					continue
+				}
+				out = append(out, Uniform(e.numArrays, Candidate{Unit: u, Factor: f, Start: s}))
+			}
+		}
+	}
+	return out
+}
+
+// neighbors yields every one-parameter per-array mutation of a.
+func (e *Engine) neighbors(a Assignment, opt SearchOptions) []Assignment {
+	var out []Assignment
+	mutate := func(i int, f func(*Assignment)) {
+		n := a.Clone()
+		f(&n)
+		if n[i].Start+n[i].Factor <= opt.MaxDisks {
+			out = append(out, n)
+		}
+	}
+	for i := range a {
+		for _, u := range opt.Units {
+			if u != a[i].Unit {
+				mutate(i, func(n *Assignment) { (*n)[i].Unit = u })
+			}
+		}
+		for _, f := range opt.Factors {
+			if f != a[i].Factor {
+				mutate(i, func(n *Assignment) { (*n)[i].Factor = f })
+			}
+		}
+		if a[i].Start > 0 {
+			mutate(i, func(n *Assignment) { (*n)[i].Start-- })
+		}
+		mutate(i, func(n *Assignment) { (*n)[i].Start++ })
+	}
+	return out
+}
+
+// SearchIn runs the parallel beam search over per-array stripe parameters
+// within one phase (WholeProgram for the whole program): seed with the
+// declared layout and a uniform grid, then repeatedly score every
+// one-parameter mutation of the beam (fanning over internal/conc),
+// Pareto-prune on (T-TPM, T-DRPM), and keep the best BeamWidth survivors,
+// stopping when a round improves nothing or MaxRounds is reached. The
+// result is bit-identical at any Jobs value: scores are pure functions of
+// the candidate, candidates are generated and deduplicated in
+// deterministic order, and the beam sort breaks all ties.
+func (e *Engine) SearchIn(phase int, opt SearchOptions) (*SearchResult, error) {
+	opt = opt.withDefaults()
+	if opt.Jobs < 0 {
+		return nil, fmt.Errorf("layoutopt: Jobs %d must be >= 0 (0 selects GOMAXPROCS, 1 forces the serial path)", opt.Jobs)
+	}
+	sp := opt.Span.Child("layout-search")
+	defer sp.End()
+	hits0, misses0 := e.CacheStats()
+	res := &SearchResult{}
+	visited := map[string]bool{}
+
+	// score evaluates a batch of unvisited candidates in slot order.
+	score := func(batch []Assignment, round *obs.Span) ([]*Score, error) {
+		out := make([]*Score, len(batch))
+		err := conc.ForEach(context.Background(), len(batch), opt.Jobs, func(_ context.Context, i int) error {
+			ssp := round.Child("score")
+			defer ssp.End()
+			sc, err := e.ScoreLite(phase, batch[i])
+			if err != nil {
+				return err
+			}
+			ssp.SetAttr("key", sc.Key)
+			out[i] = sc
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Candidates += len(batch)
+		return out, nil
+	}
+
+	// filterNew keeps candidates whose canonical key is unseen, marking
+	// them seen — deterministic because the batch order is deterministic.
+	filterNew := func(batch []Assignment) []Assignment {
+		var out []Assignment
+		for _, a := range batch {
+			k := e.canonKey(phase, a)
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			out = append(out, a)
+		}
+		return out
+	}
+
+	rsp := sp.Child("beam-round")
+	rsp.SetAttr("round", "seed")
+	beam, err := score(filterNew(e.seeds(opt)), rsp)
+	rsp.End()
+	if err != nil {
+		return nil, err
+	}
+	beam = pruneDominated(beam)
+	sortBeam(beam)
+	if len(beam) > opt.BeamWidth {
+		beam = beam[:opt.BeamWidth]
+	}
+	if len(beam) == 0 {
+		return nil, fmt.Errorf("layoutopt: empty seed beam")
+	}
+
+	for round := 0; round < opt.MaxRounds; round++ {
+		var batch []Assignment
+		for _, s := range beam {
+			batch = append(batch, e.neighbors(s.Assignment, opt)...)
+		}
+		batch = filterNew(batch)
+		if len(batch) == 0 {
+			break
+		}
+		rsp := sp.Child("beam-round")
+		rsp.SetAttr("round", strconv.Itoa(round))
+		rsp.SetAttr("candidates", strconv.Itoa(len(batch)))
+		scored, err := score(batch, rsp)
+		rsp.End()
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds++
+		prevBest := beam[0].Best()
+		pool := append(beam, scored...)
+		pool = pruneDominated(pool)
+		sortBeam(pool)
+		if len(pool) > opt.BeamWidth {
+			pool = pool[:opt.BeamWidth]
+		}
+		beam = pool
+		if !(beam[0].Best() < prevBest) {
+			break
+		}
+	}
+
+	// Backfill Base energies for the survivors (deferred by ScoreLite).
+	for _, s := range beam {
+		if _, err := e.ScoreIn(phase, s.Assignment); err != nil {
+			return nil, err
+		}
+	}
+	res.Beam = beam
+	res.Best = beam[0]
+	hits1, misses1 := e.CacheStats()
+	res.CacheHits = hits1 - hits0
+	res.CacheMisses = misses1 - misses0
+	res.Scored = int(res.CacheMisses)
+	sp.SetAttr("candidates", strconv.Itoa(res.Candidates))
+	sp.SetAttr("best", res.Best.Key)
+	return res, nil
+}
+
+// Search runs SearchIn over the whole program.
+func (e *Engine) Search(opt SearchOptions) (*SearchResult, error) {
+	return e.SearchIn(WholeProgram, opt)
+}

@@ -1,0 +1,213 @@
+package layoutopt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"diskreuse/internal/apps"
+	"diskreuse/internal/drlgen"
+)
+
+// smallSearch keeps determinism tests cheap: a reduced menu and beam.
+func smallSearch(jobs int) SearchOptions {
+	return SearchOptions{
+		Units:     []int64{16 << 10, 64 << 10},
+		Factors:   []int{2, 4},
+		MaxDisks:  6,
+		BeamWidth: 4,
+		MaxRounds: 3,
+		Jobs:      jobs,
+	}
+}
+
+// beamFingerprint renders a beam for bit-identity comparison: every survivor's
+// canonical key and all its energies.
+func beamFingerprint(res *SearchResult) string {
+	var b strings.Builder
+	for _, s := range res.Beam {
+		fmt.Fprintf(&b, "%s base=%x ttpm=%x tdrpm=%x runs=%d disks=%d\n",
+			s.Key, s.BaseEnergy, s.TTPMEnergy, s.TDRPMEnergy, s.Runs, s.NumDisks)
+	}
+	return b.String()
+}
+
+// TestSearchDeterministicAcrossJobs pins the ISSUE's determinism contract:
+// Jobs=1 and Jobs=8 beam searches produce bit-identical beams — keys,
+// energies, run counts — on real applications and on generated programs.
+func TestSearchDeterministicAcrossJobs(t *testing.T) {
+	score := func(a apps.App, phase int) (serial, parallel string) {
+		t.Helper()
+		e1, err := NewEngine(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := e1.SearchIn(phase, smallSearch(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e8, err := NewEngine(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r8, err := e8.SearchIn(phase, smallSearch(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Rounds != r8.Rounds || r1.Candidates != r8.Candidates {
+			t.Errorf("%s: search shape diverged: rounds %d/%d candidates %d/%d",
+				a.Name, r1.Rounds, r8.Rounds, r1.Candidates, r8.Candidates)
+		}
+		return beamFingerprint(r1), beamFingerprint(r8)
+	}
+	for _, name := range []string{"fft", "visuo"} {
+		a, err := apps.ByName(name, apps.Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, p := score(a, WholeProgram)
+		if s != p {
+			t.Errorf("%s: beams diverged across Jobs\nserial:\n%s\nparallel:\n%s", name, s, p)
+		}
+		s, p = score(a, 0)
+		if s != p {
+			t.Errorf("%s phase 0: beams diverged across Jobs\nserial:\n%s\nparallel:\n%s", name, s, p)
+		}
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		c := drlgen.Generate(seed, drlgen.Config{})
+		a := apps.App{Name: fmt.Sprintf("drlgen-%d", seed), Source: c.Source, ComputePerIter: 1e-3}
+		s, p := score(a, WholeProgram)
+		if s != p {
+			t.Errorf("seed %d: beams diverged across Jobs\nserial:\n%s\nparallel:\n%s", seed, s, p)
+		}
+	}
+}
+
+// TestSearchSurvivorsExact verifies every beam survivor of a real search
+// against the independent full pipeline — the acceptance gate that the fast
+// scorer never misranks what it reports.
+func TestSearchSurvivorsExact(t *testing.T) {
+	a, err := apps.ByName("cholesky", apps.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Search(smallSearch(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Beam) == 0 {
+		t.Fatal("empty beam")
+	}
+	for _, s := range res.Beam {
+		want := evaluateAssignment(t, a, s.Assignment)
+		if s.BaseEnergy != want.BaseEnergy || s.TTPMEnergy != want.TTPMEnergy ||
+			s.TDRPMEnergy != want.TDRPMEnergy || s.Runs != want.Runs {
+			t.Errorf("survivor %s diverged from full pipeline\ngot  %+v\nwant %+v", s.Key, s, want)
+		}
+	}
+}
+
+// TestDominance unit-tests the Pareto pruning rule.
+func TestDominance(t *testing.T) {
+	mk := func(tpm, drpm float64, key string) *Score {
+		return &Score{Key: key, TTPMEnergy: tpm, TDRPMEnergy: drpm}
+	}
+	a := mk(10, 20, "a")
+	b := mk(10, 25, "b") // dominated by a (equal TPM, worse DRPM)
+	c := mk(5, 30, "c")  // incomparable with a
+	d := mk(10, 20, "d") // equal to a: neither dominates
+	if !dominated(b, a) || dominated(a, b) {
+		t.Error("b must be dominated by a")
+	}
+	if dominated(c, a) || dominated(a, c) {
+		t.Error("a and c are incomparable")
+	}
+	if dominated(a, d) || dominated(d, a) {
+		t.Error("equal scores must not dominate each other")
+	}
+	pruned := pruneDominated([]*Score{a, b, c, d})
+	if len(pruned) != 3 || pruned[0] != a || pruned[1] != c || pruned[2] != d {
+		keys := make([]string, len(pruned))
+		for i, s := range pruned {
+			keys[i] = s.Key
+		}
+		t.Errorf("pruned = %v, want [a c d]", keys)
+	}
+}
+
+// TestSortBeamTieBreak pins the deterministic ordering.
+func TestSortBeamTieBreak(t *testing.T) {
+	mk := func(tpm, drpm float64, key string) *Score {
+		return &Score{Key: key, TTPMEnergy: tpm, TDRPMEnergy: drpm}
+	}
+	beam := []*Score{
+		mk(10, 8, "z"), // Best 8
+		mk(8, 10, "y"), // Best 8, lower TTPM
+		mk(8, 10, "x"), // identical to y except key
+		mk(7, 99, "w"), // Best 7
+	}
+	sortBeam(beam)
+	got := []string{beam[0].Key, beam[1].Key, beam[2].Key, beam[3].Key}
+	want := []string{"w", "x", "y", "z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sortBeam order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSearchVisitedDedup pins that equivalent candidates are only processed
+// once per search: with factor menus that canonically collide, Candidates
+// stays below the raw enumeration count and no key is scored twice.
+func TestSearchVisitedDedup(t *testing.T) {
+	a, err := apps.ByName("ast", apps.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Search(smallSearch(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every processed candidate was either a cache miss (scored once) or a
+	// hit from a previous search; within one fresh search, hits can only
+	// come from ScoreIn backfills of already-scored survivors.
+	if res.CacheMisses != int64(res.Candidates) {
+		t.Errorf("candidates=%d misses=%d: visited dedup failed (a key was re-processed)",
+			res.Candidates, res.CacheMisses)
+	}
+	if res.Scored != res.Candidates {
+		t.Errorf("Scored = %d, want %d", res.Scored, res.Candidates)
+	}
+	if res.CacheHits != int64(len(res.Beam)) {
+		t.Errorf("hits=%d, want one backfill hit per survivor (%d)", res.CacheHits, len(res.Beam))
+	}
+}
+
+// TestSearchRejections pins option validation and error propagation.
+func TestSearchRejections(t *testing.T) {
+	a, err := apps.ByName("fft", apps.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Search(SearchOptions{Jobs: -1}); err == nil ||
+		!strings.Contains(err.Error(), "must be >= 0") {
+		t.Errorf("negative Jobs: err = %v", err)
+	}
+	// A menu with a sub-page unit fails inside the scorer and must surface.
+	if _, err := e.Search(SearchOptions{Units: []int64{1 << 10}, Jobs: 1}); err == nil {
+		t.Error("sub-page unit menu must propagate the scoring error")
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+
+	"diskreuse/internal/trace"
+)
+
+// Reattributer replays one fixed request stream under many block-to-disk
+// mappings. A candidate disk layout changes only where each request lands —
+// never the arrival order, sizes, or processor streams — so the layout
+// search prepares the stream once (arrival-order verification and the
+// per-processor grouping) and re-attributes per candidate: one counting
+// pass, one carve of the per-disk shards into reusable scratch, then the
+// ordinary prepared replay. Nothing is re-sorted or re-generated.
+//
+// RunReattributed produces exactly the Result that PrepareTrace followed by
+// RunPrepared would for the same attribution: the scratch carve is the same
+// flat-backing carve PrepareTrace performs, and the replay goes through the
+// identical open-loop machinery, so energies agree bit for bit.
+//
+// A Reattributer owns mutable scratch: concurrent RunReattributed calls on
+// one value race. Parallel searches give each worker its own via Clone.
+type Reattributer struct {
+	sorted   []trace.Request
+	procIDs  []int
+	procReqs [][]int
+
+	// Per-run scratch, reused across candidates.
+	diskIdx []int
+	counts  []int
+	backing []trace.Request
+	perDisk [][]trace.Request
+}
+
+// NewReattributer prepares the layout-independent part of a replay over
+// sorted, which must already be in arrival order (the layout search's
+// traces are generated sorted). sorted is aliased, never mutated.
+func NewReattributer(sorted []trace.Request) (*Reattributer, error) {
+	if !trace.SortedByArrival(sorted) {
+		return nil, fmt.Errorf("sim: reattributed trace must be sorted by arrival")
+	}
+	procIDs, procReqs := trace.ProcStreams(sorted)
+	return &Reattributer{
+		sorted:   sorted,
+		procIDs:  procIDs,
+		procReqs: procReqs,
+		diskIdx:  make([]int, len(sorted)),
+		backing:  make([]trace.Request, len(sorted)),
+	}, nil
+}
+
+// Clone returns a Reattributer sharing the immutable stream and processor
+// grouping but with its own scratch, so parallel workers can re-attribute
+// the same trace concurrently.
+func (ra *Reattributer) Clone() *Reattributer {
+	return &Reattributer{
+		sorted:   ra.sorted,
+		procIDs:  ra.procIDs,
+		procReqs: ra.procReqs,
+		diskIdx:  make([]int, len(ra.sorted)),
+		backing:  make([]trace.Request, len(ra.sorted)),
+	}
+}
+
+// Requests returns the number of requests in the stream.
+func (ra *Reattributer) Requests() int { return len(ra.sorted) }
+
+// Sorted returns the arrival-ordered request stream (read-only).
+func (ra *Reattributer) Sorted() []trace.Request { return ra.sorted }
+
+// RunReattributed replays ra's request stream with per-request disk
+// attribution diskOf(i) — the disk of ra.Sorted()[i] under the candidate
+// layout — and simulates it under cfg. cfg.NumDisks must be set explicitly
+// (there is no prepared trace to adopt it from). The result is bit-for-bit
+// identical to PrepareTrace + RunPrepared with an equivalent block-to-disk
+// mapping.
+func RunReattributed(ra *Reattributer, diskOf func(i int) int, cfg Config) (*Result, error) {
+	numDisks := cfg.NumDisks
+	if numDisks <= 0 {
+		return nil, fmt.Errorf("sim: RunReattributed needs an explicit positive NumDisks (got %d)", numDisks)
+	}
+	if cap(ra.counts) < numDisks {
+		ra.counts = make([]int, numDisks)
+		ra.perDisk = make([][]trace.Request, numDisks)
+	}
+	counts := ra.counts[:numDisks]
+	for d := range counts {
+		counts[d] = 0
+	}
+	for i := range ra.sorted {
+		d := diskOf(i)
+		if d < 0 || d >= numDisks {
+			return nil, fmt.Errorf("sim: request %d maps to disk %d outside 0..%d", i, d, numDisks-1)
+		}
+		ra.diskIdx[i] = d
+		counts[d]++
+	}
+	perDisk := ra.perDisk[:numDisks]
+	off := 0
+	for d, n := range counts {
+		perDisk[d] = ra.backing[off:off : off+n]
+		off += n
+	}
+	for i, r := range ra.sorted {
+		d := ra.diskIdx[i]
+		perDisk[d] = append(perDisk[d], r)
+	}
+	pt := &PreparedTrace{
+		numDisks: numDisks,
+		sorted:   ra.sorted,
+		diskIdx:  ra.diskIdx,
+		perDisk:  perDisk,
+		procIDs:  ra.procIDs,
+		procReqs: ra.procReqs,
+	}
+	return RunPrepared(pt, cfg)
+}

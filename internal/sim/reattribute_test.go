@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"diskreuse/internal/disk"
+	"diskreuse/internal/trace"
+)
+
+// TestRunReattributedMatchesPrepared pins the re-attribution contract: for
+// any per-request disk mapping, RunReattributed produces a Result that is
+// reflect.DeepEqual to PrepareTrace + RunPrepared over the same mapping,
+// across policies, disk counts, and worker counts — and the scratch reuse
+// across candidates never leaks state between runs.
+func TestRunReattributedMatchesPrepared(t *testing.T) {
+	model := disk.Ultrastar36Z15()
+	for _, disks := range []int{1, 3, 8} {
+		reqs := randomTrace(uint64(7+disks), 600, disks, 3)
+		ra, err := NewReattributer(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range []Policy{NoPM, TPM, DRPM} {
+			for _, jobs := range []int{1, 4} {
+				// Several candidate mappings through one Reattributer, in
+				// sequence, so scratch reuse is exercised.
+				for shift := 0; shift < 3; shift++ {
+					cfg := Config{Model: model, NumDisks: disks, Policy: pol, Jobs: jobs}
+					diskOf := func(i int) int {
+						return int((reqs[i].Block + int64(shift)) % int64(disks))
+					}
+					got, err := RunReattributed(ra, diskOf, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pt, err := PrepareTrace(reqs, func(b int64) (int, error) {
+						return int((b + int64(shift)) % int64(disks)), nil
+					}, disks)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := RunPrepared(pt, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("disks=%d pol=%v jobs=%d shift=%d: reattributed run diverged\ngot  %+v\nwant %+v",
+							disks, pol, jobs, shift, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReattributerClone(t *testing.T) {
+	reqs := randomTrace(11, 400, 4, 2)
+	ra, err := NewReattributer(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := ra.Clone()
+	cfg := Config{Model: disk.Ultrastar36Z15(), NumDisks: 4, Policy: TPM}
+	diskOf := func(i int) int { return int(reqs[i].Block % 4) }
+	a, err := RunReattributed(ra, diskOf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReattributed(cl, diskOf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("clone diverged:\ngot  %+v\nwant %+v", b, a)
+	}
+	if ra.Requests() != len(reqs) || cl.Requests() != len(reqs) {
+		t.Fatalf("Requests() = %d/%d, want %d", ra.Requests(), cl.Requests(), len(reqs))
+	}
+}
+
+func TestReattributerErrors(t *testing.T) {
+	unsorted := []trace.Request{
+		{Arrival: 1, Size: 4096}, {Arrival: 0, Size: 4096},
+	}
+	if _, err := NewReattributer(unsorted); err == nil || !strings.Contains(err.Error(), "sorted by arrival") {
+		t.Fatalf("unsorted stream: err = %v", err)
+	}
+
+	reqs := randomTrace(3, 50, 2, 1)
+	ra, err := NewReattributer(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: disk.Ultrastar36Z15(), Policy: NoPM}
+	if _, err := RunReattributed(ra, func(int) int { return 0 }, cfg); err == nil ||
+		!strings.Contains(err.Error(), "positive NumDisks") {
+		t.Fatalf("missing NumDisks: err = %v", err)
+	}
+	cfg.NumDisks = 2
+	if _, err := RunReattributed(ra, func(int) int { return 2 }, cfg); err == nil ||
+		!strings.Contains(err.Error(), "outside 0..1") {
+		t.Fatalf("out-of-range disk: err = %v", err)
+	}
+	if _, err := RunReattributed(ra, func(int) int { return -1 }, cfg); err == nil {
+		t.Fatal("negative disk must fail")
+	}
+}

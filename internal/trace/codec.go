@@ -422,41 +422,74 @@ func (r *Reader) Next() ([]Request, error) {
 	if _, err := io.ReadFull(r.r, buf); err != nil {
 		return nil, fmt.Errorf("trace: chunk %d: reading %d-byte payload: %w", r.chunk, payloadLen, errTruncated(err))
 	}
+	// The decode loop is the stream replay's hot path (BenchmarkRunStream is
+	// decode-bound), so each field checks the single-byte case in place —
+	// meta and the zigzag block delta are almost always one byte — and only
+	// longer varints call uvarintAt, whose two-byte early exit covers the
+	// page size and most arrival XOR deltas. This replaces binary.Uvarint on
+	// a fresh sub-slice per field, which is a non-inlinable call even for
+	// one-byte values.
 	out := r.arena[:count]
 	var prevA uint64
 	var prevB int64
+	maxProc := uint64(r.hdr.NumProcs - 1)
 	pos := 0
 	for i := 0; i < count; i++ {
-		meta, n := binary.Uvarint(buf[pos:])
-		if n <= 0 {
-			return nil, r.corrupt(i, "meta varint")
+		var meta uint64
+		if uint(pos) < uint(len(buf)) && buf[pos] < 0x80 {
+			meta = uint64(buf[pos])
+			pos++
+		} else {
+			v, n := uvarintAt(buf, pos)
+			if n < 0 {
+				return nil, r.corrupt(i, "meta varint")
+			}
+			meta, pos = v, n
 		}
-		pos += n
-		if meta>>1 > uint64(r.hdr.NumProcs-1) {
+		if meta>>1 > maxProc {
 			return nil, fmt.Errorf("trace: chunk %d: request %d: proc %d outside header range 0..%d",
 				r.chunk, i, meta>>1, r.hdr.NumProcs-1)
 		}
-		abits, n := binary.Uvarint(buf[pos:])
-		if n <= 0 {
-			return nil, r.corrupt(i, "arrival varint")
+		var abits uint64
+		if uint(pos) < uint(len(buf)) && buf[pos] < 0x80 {
+			abits = uint64(buf[pos])
+			pos++
+		} else {
+			v, n := uvarintAt(buf, pos)
+			if n < 0 {
+				return nil, r.corrupt(i, "arrival varint")
+			}
+			abits, pos = v, n
 		}
-		pos += n
 		prevA ^= abits
 		arrival := math.Float64frombits(prevA)
 		if math.IsNaN(arrival) || math.IsInf(arrival, 0) {
 			return nil, fmt.Errorf("trace: chunk %d: request %d: non-finite arrival", r.chunk, i)
 		}
-		bdelta, n := binary.Varint(buf[pos:])
-		if n <= 0 {
-			return nil, r.corrupt(i, "block varint")
+		var bdelta int64
+		if uint(pos) < uint(len(buf)) && buf[pos] < 0x80 {
+			b := buf[pos]
+			bdelta = int64(b>>1) ^ -int64(b&1)
+			pos++
+		} else {
+			v, n := varintAt(buf, pos)
+			if n < 0 {
+				return nil, r.corrupt(i, "block varint")
+			}
+			bdelta, pos = v, n
 		}
-		pos += n
 		prevB += bdelta
-		size, n := binary.Uvarint(buf[pos:])
-		if n <= 0 {
-			return nil, r.corrupt(i, "size varint")
+		var size uint64
+		if uint(pos) < uint(len(buf)) && buf[pos] < 0x80 {
+			size = uint64(buf[pos])
+			pos++
+		} else {
+			v, n := uvarintAt(buf, pos)
+			if n < 0 {
+				return nil, r.corrupt(i, "size varint")
+			}
+			size, pos = v, n
 		}
-		pos += n
 		if size > math.MaxInt64 {
 			return nil, fmt.Errorf("trace: chunk %d: request %d: size %d overflows", r.chunk, i, size)
 		}
@@ -555,4 +588,53 @@ func (s *SliceSource) Next() ([]Request, error) {
 func (s *SliceSource) Close() error {
 	s.off = len(s.reqs)
 	return nil
+}
+
+// uvarintAt decodes an unsigned varint from buf at pos and returns the value
+// and the position just past it; a negative position means the varint is
+// truncated or overflows 64 bits. The decode loop handles the single-byte
+// case in place and calls this for the rest, so the two-byte early exit here
+// covers nearly everything — typically the page size and arrival deltas —
+// before uvarintSlowAt's general loop.
+func uvarintAt(buf []byte, pos int) (uint64, int) {
+	if uint(pos) < uint(len(buf)) {
+		b := buf[pos]
+		if b < 0x80 {
+			return uint64(b), pos + 1
+		}
+		if uint(pos+1) < uint(len(buf)) {
+			if b2 := buf[pos+1]; b2 < 0x80 {
+				return uint64(b&0x7f) | uint64(b2)<<7, pos + 2
+			}
+		}
+	}
+	return uvarintSlowAt(buf, pos)
+}
+
+// uvarintSlowAt finishes varints of three or more bytes with the same error
+// conditions as binary.Uvarint: truncation and 64-bit overflow are negative.
+func uvarintSlowAt(buf []byte, pos int) (uint64, int) {
+	var x uint64
+	var s uint
+	for i := pos; i < len(buf); i++ {
+		b := buf[i]
+		if b < 0x80 {
+			if s == 63 && b > 1 {
+				return 0, -1 // value overflows 64 bits
+			}
+			return x | uint64(b)<<s, i + 1
+		}
+		if s == 63 {
+			return 0, -1 // more than ten continuation bytes
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, -1 // truncated
+}
+
+// varintAt is uvarintAt plus the zigzag decode used for block deltas.
+func varintAt(buf []byte, pos int) (int64, int) {
+	ux, n := uvarintAt(buf, pos)
+	return int64(ux>>1) ^ -int64(ux&1), n
 }
