@@ -31,14 +31,17 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"diskreuse/internal/apps"
 	"diskreuse/internal/disk"
 	"diskreuse/internal/exp"
 	"diskreuse/internal/interp"
 	"diskreuse/internal/layoutopt"
+	"diskreuse/internal/metrics"
 	"diskreuse/internal/obs"
 	"diskreuse/internal/sema"
 )
@@ -52,8 +55,8 @@ type options struct {
 	engine                  string
 	// stream replays the suite's simulations through the out-of-core
 	// streaming path (bit-identical results; exercises the reducers).
-	stream bool
-	csvPath, jsonPath       string
+	stream            bool
+	csvPath, jsonPath string
 	// report renders the observability report (per-app × per-version
 	// energy/degradation/idle-locality rows plus stage timings) to stdout
 	// in the named format: text, json, or csv.
@@ -62,6 +65,10 @@ type options struct {
 	traceOut string
 	// cpuProfile/memProfile are the stdlib pprof outputs.
 	cpuProfile, memProfile string
+	// metricsAddr serves the live metrics registry over HTTP; heartbeat
+	// prints a progress line to stderr at the given interval.
+	metricsAddr string
+	heartbeat   time.Duration
 	// scale selects the multi-tenant out-of-core streaming benchmark
 	// instead of the paper suite (see scale.go).
 	scale scaleOptions
@@ -86,6 +93,8 @@ func main() {
 	flag.StringVar(&o.traceOut, "trace-out", "", "write pipeline spans as Chrome trace_event JSON to this file (load in Perfetto)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live metrics over HTTP on this address (/metrics, /healthz, /debug/pprof/)")
+	flag.DurationVar(&o.heartbeat, "heartbeat", 0, "print a progress heartbeat to stderr at this interval (0 disables)")
 	flag.Int64Var(&o.scale.requests, "scale", 0, "run the multi-tenant streaming benchmark with this many total requests (synthesized to the binary trace format and replayed out of core)")
 	flag.IntVar(&o.scale.tenants, "tenants", 8, "tenant (processor) count for -scale")
 	flag.IntVar(&o.scale.disks, "scale-disks", 0, "disk count for -scale (0 = synthesizer default)")
@@ -129,11 +138,27 @@ func run(o options) (err error) {
 			err = perr
 		}
 	}()
+	// Live observability: one registry feeds the HTTP endpoint and the
+	// heartbeat; the Reporter is also the shared stderr sink for every
+	// one-off human progress line, keeping a machine stdout clean.
+	var reg *metrics.Registry
+	if o.metricsAddr != "" || o.heartbeat > 0 {
+		reg = metrics.NewRegistry()
+	}
+	rep := metrics.NewReporter(metrics.ReporterOptions{Registry: reg, Interval: o.heartbeat})
+	if o.metricsAddr != "" {
+		srv, serr := metrics.Serve(o.metricsAddr, reg)
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		rep.Logf("metrics: serving http://%s/metrics", srv.Addr())
+	}
 	if o.scale.requests > 0 {
-		return runScale(o.scale, o.jobs)
+		return runScale(o.scale, o.jobs, reg, rep)
 	}
 	if o.search.app != "" {
-		return runLayoutSearch(o, size)
+		return runLayoutSearch(o, size, reg, rep)
 	}
 	engine, err := interp.ParseEngine(o.engine)
 	if err != nil {
@@ -145,8 +170,16 @@ func run(o options) (err error) {
 		all = true
 	}
 	var tr *obs.Tracer
-	if o.traceOut != "" || o.report != "" {
+	if o.traceOut != "" || o.report != "" || reg != nil {
 		tr = obs.NewTracer()
+	}
+	// Bridge ended spans into per-stage duration histograms on the registry.
+	obs.WithMetrics(tr, reg)
+	// Keep stdout machine-parseable when the report renders JSON or CSV to
+	// it: the human tables and figures move to stderr, as in dpcsim.
+	human := io.Writer(os.Stdout)
+	if o.report == "json" || o.report == "csv" {
+		human = os.Stderr
 	}
 
 	var suite1, suiteN *exp.SuiteResult
@@ -154,42 +187,45 @@ func run(o options) (err error) {
 		o.csvPath != "" || o.jsonPath != "" || o.report != ""
 	needN := all || figure == "9b" || figure == "10b" ||
 		o.csvPath != "" || o.jsonPath != "" || o.report != ""
+	rep.Start()
+	defer rep.Stop()
 	if need1 {
-		if suite1, err = exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: o.jobs, Engine: engine, Tracer: tr, Stream: o.stream}); err != nil {
+		if suite1, err = exp.RunSuite(exp.Options{Size: size, Procs: 1, Jobs: o.jobs, Engine: engine, Tracer: tr, Stream: o.stream, Metrics: reg}); err != nil {
 			return err
 		}
 	}
 	if needN {
-		if suiteN, err = exp.RunSuite(exp.Options{Size: size, Procs: o.procs, Jobs: o.jobs, Engine: engine, Tracer: tr, Stream: o.stream}); err != nil {
+		if suiteN, err = exp.RunSuite(exp.Options{Size: size, Procs: o.procs, Jobs: o.jobs, Engine: engine, Tracer: tr, Stream: o.stream, Metrics: reg}); err != nil {
 			return err
 		}
 	}
+	rep.Stop()
 
 	if all || table == "1" {
-		fmt.Println("Table 1: default simulation parameters")
-		fmt.Println(exp.Table1(disk.Ultrastar36Z15(), sema.Options{}))
+		fmt.Fprintln(human, "Table 1: default simulation parameters")
+		fmt.Fprintln(human, exp.Table1(disk.Ultrastar36Z15(), sema.Options{}))
 	}
 	if all || table == "2" {
-		fmt.Println("Table 2: applications and their characteristics")
-		fmt.Println(exp.Table2(suite1))
+		fmt.Fprintln(human, "Table 2: applications and their characteristics")
+		fmt.Fprintln(human, exp.Table2(suite1))
 	}
 	if all || figure == "9a" {
-		fmt.Println(exp.Figure9(suite1))
+		fmt.Fprintln(human, exp.Figure9(suite1))
 	}
 	if all || figure == "9b" {
-		fmt.Println(exp.Figure9(suiteN))
+		fmt.Fprintln(human, exp.Figure9(suiteN))
 	}
 	if all || figure == "10a" {
-		fmt.Println(exp.Figure10(suite1))
+		fmt.Fprintln(human, exp.Figure10(suite1))
 	}
 	if all || figure == "10b" {
-		fmt.Println(exp.Figure10(suiteN))
+		fmt.Fprintln(human, exp.Figure10(suiteN))
 	}
 	if all {
-		fmt.Println("Average savings/degradations, single processor:")
-		fmt.Println(exp.Summary(suite1))
-		fmt.Printf("Average savings/degradations, %d processors:\n", o.procs)
-		fmt.Println(exp.Summary(suiteN))
+		fmt.Fprintln(human, "Average savings/degradations, single processor:")
+		fmt.Fprintln(human, exp.Summary(suite1))
+		fmt.Fprintf(human, "Average savings/degradations, %d processors:\n", o.procs)
+		fmt.Fprintln(human, exp.Summary(suiteN))
 	}
 	if o.report != "" {
 		if err := exp.BuildReport(tr, suite1, suiteN).Render(os.Stdout, o.report); err != nil {
@@ -217,7 +253,7 @@ func run(o options) (err error) {
 		if _, err := f.WriteString(body); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote CSV results to %s\n", o.csvPath)
+		rep.Logf("wrote CSV results to %s", o.csvPath)
 	}
 	if o.jsonPath != "" {
 		f, err := os.Create(o.jsonPath)
@@ -228,7 +264,7 @@ func run(o options) (err error) {
 		if err := exp.WriteJSON(f, suite1, suiteN); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote JSON metrics to %s\n", o.jsonPath)
+		rep.Logf("wrote JSON metrics to %s", o.jsonPath)
 	}
 	if o.traceOut != "" {
 		f, err := os.Create(o.traceOut)
@@ -239,7 +275,7 @@ func run(o options) (err error) {
 		if err := tr.WriteChromeTrace(f); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote Chrome trace (%d spans) to %s\n", tr.SpanCount(), o.traceOut)
+		rep.Logf("wrote Chrome trace (%d spans) to %s", tr.SpanCount(), o.traceOut)
 	}
 
 	switch ablation {

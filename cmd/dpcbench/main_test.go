@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 func capture(t *testing.T, fn func() error) string {
@@ -295,5 +296,61 @@ func TestLayoutSearchPhased(t *testing.T) {
 		!strings.Contains(out, "policy TPM") || !strings.Contains(out, "policy DRPM") ||
 		!strings.Contains(out, "migration rate") {
 		t.Errorf("phased layout search output:\n%s", out)
+	}
+}
+
+// TestReportJSONPureStdout pins the fixed interleave bug: combining the
+// human tables (-all) with a machine report format must leave stdout
+// holding exactly one JSON document — the tables move to stderr.
+func TestReportJSONPureStdout(t *testing.T) {
+	var out string
+	errOut := captureErr(t, func() {
+		out = capture(t, func() error {
+			return run(options{all: true, report: "json", size: "tiny", procs: 2, jobs: 2})
+		})
+	})
+	var rep struct {
+		Suites []struct {
+			Procs int `json:"procs"`
+		} `json:"suites"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("stdout is not a single JSON document: %v\n%s", err, out)
+	}
+	if len(rep.Suites) != 2 {
+		t.Fatalf("want 2 suites, got %+v", rep.Suites)
+	}
+	for _, want := range []string{"Table 1", "Figure 9(a)", "Average savings"} {
+		if strings.Contains(out, want) {
+			t.Errorf("human table %q leaked into JSON stdout", want)
+		}
+		if !strings.Contains(errOut, want) {
+			t.Errorf("human table %q missing from stderr:\n%s", want, errOut)
+		}
+	}
+}
+
+// TestScaleWithMonitoring: the -scale benchmark with the metrics endpoint
+// and heartbeat enabled runs clean, and the heartbeat lands on stderr.
+func TestScaleWithMonitoring(t *testing.T) {
+	o := options{jobs: 1, metricsAddr: "127.0.0.1:0", heartbeat: time.Millisecond,
+		scale: scaleOptions{
+			requests: 5000,
+			tenants:  2,
+			file:     t.TempDir() + "/scale.dpct",
+			seed:     1,
+		}}
+	var out string
+	errOut := captureErr(t, func() {
+		out = capture(t, func() error { return run(o) })
+	})
+	if !strings.Contains(out, "Normalized energy") {
+		t.Errorf("scale stdout missing results:\n%s", out)
+	}
+	if !strings.Contains(errOut, "metrics: serving http://") {
+		t.Errorf("metrics announcement missing from stderr:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, " req/s") {
+		t.Errorf("heartbeat missing from stderr:\n%s", errOut)
 	}
 }

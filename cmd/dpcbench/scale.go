@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"diskreuse/internal/disk"
+	"diskreuse/internal/metrics"
 	"diskreuse/internal/obs"
 	"diskreuse/internal/sim"
 	"diskreuse/internal/trace"
@@ -31,8 +32,10 @@ type scaleOptions struct {
 // per-tenant energy attribution, and reports throughput, energy, and the
 // peak heap footprint. The trace is written once and each policy streams
 // it from disk with a fresh reader, so peak memory stays at one decode
-// chunk plus per-disk simulator state regardless of -scale.
-func runScale(s scaleOptions, jobs int) error {
+// chunk plus per-disk simulator state regardless of -scale. Result tables
+// go to stdout; timing and heap diagnostics go to stderr through rep, and
+// reg (when non-nil) receives live decode and replay progress.
+func runScale(s scaleOptions, jobs int, reg *metrics.Registry, rep *metrics.Reporter) error {
 	path := s.file
 	if path == "" {
 		path = filepath.Join(os.TempDir(), fmt.Sprintf("dpcbench-scale-%d.dpct", os.Getpid()))
@@ -63,10 +66,13 @@ func runScale(s scaleOptions, jobs int) error {
 	}
 	fmt.Printf("Scale workload: %d requests, %d tenants, %d disks\n",
 		hdr.NumRequests, hdr.NumProcs, hdr.NumDisks)
-	fmt.Printf("  synthesized %s (%.2f B/req) in %.2fs (%.2f Mreq/s)\n",
+	rep.Logf("  synthesized %s (%.2f B/req) in %.2fs (%.2f Mreq/s)",
 		fmtBytes(fi.Size()), float64(fi.Size())/float64(hdr.NumRequests),
 		synthSecs, float64(hdr.NumRequests)/synthSecs/1e6)
 
+	rep.SetTotal(hdr.NumRequests * 3)
+	rep.Start()
+	defer rep.Stop()
 	model := disk.Ultrastar36Z15()
 	diskOf := trace.SynthDiskOf(hdr.NumDisks)
 	policies := []sim.Policy{sim.NoPM, sim.TPM, sim.DRPM}
@@ -83,6 +89,7 @@ func runScale(s scaleOptions, jobs int) error {
 			rf.Close()
 			return err
 		}
+		rd.SetMetrics(reg)
 		attr := obs.NewProcAttribution(hdr.NumDisks, hdr.NumProcs)
 		start := time.Now()
 		res, err := sim.RunStream(rd, diskOf, sim.Config{
@@ -91,6 +98,7 @@ func runScale(s scaleOptions, jobs int) error {
 			Policy:      p,
 			Jobs:        jobs,
 			Attribution: attr,
+			Metrics:     reg,
 		})
 		secs := time.Since(start).Seconds()
 		rd.Close()
@@ -106,9 +114,10 @@ func runScale(s scaleOptions, jobs int) error {
 			peakHeap = ms.HeapSys
 		}
 		results[i], attrs[i] = res, attr
-		fmt.Printf("  %-5s replay %.2fs (%.2f Mreq/s)  energy %.0f J  io %.0f s\n",
+		rep.Logf("  %-5s replay %.2fs (%.2f Mreq/s)  energy %.0f J  io %.0f s",
 			p, secs, float64(res.Requests)/secs/1e6, res.Energy, res.IOTime)
 	}
+	rep.Stop()
 
 	noPM := results[0].Energy
 	fmt.Println("\nNormalized energy (NoPM = 1.0):")
@@ -128,7 +137,7 @@ func runScale(s scaleOptions, jobs int) error {
 			t, rows[t].Requests, perPolicy[0][t], perPolicy[1][t], perPolicy[2][t])
 	}
 
-	fmt.Printf("\nPeak heap (runtime HeapSys): %s\n", fmtBytes(int64(peakHeap)))
+	rep.Logf("peak heap (runtime HeapSys): %s", fmtBytes(int64(peakHeap)))
 	if s.maxHeap > 0 && peakHeap > uint64(s.maxHeap) {
 		return fmt.Errorf("peak heap %s exceeds -scale-maxheap %s",
 			fmtBytes(int64(peakHeap)), fmtBytes(s.maxHeap))

@@ -1,14 +1,45 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
+// captureErr captures os.Stderr around fn, for asserting which side of the
+// stdout/stderr discipline a line lands on.
+func captureErr(t *testing.T, fn func()) string {
+	t.Helper()
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = outW
+	defer func() { os.Stderr = old }()
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out strings.Builder
+		for {
+			n, err := outR.Read(buf)
+			out.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- out.String()
+	}()
+	fn()
+	outW.Close()
+	return <-done
+}
+
 // TestScaleBenchmark runs the multi-tenant streaming benchmark end to end
 // at test scale: synthesize → replay under all three policies → per-tenant
-// attribution, with the peak-heap self-check enabled.
+// attribution, with the peak-heap self-check enabled. Result tables land on
+// stdout; timing and heap diagnostics land on stderr.
 func TestScaleBenchmark(t *testing.T) {
 	o := options{jobs: 2, scale: scaleOptions{
 		requests: 20000,
@@ -18,15 +49,26 @@ func TestScaleBenchmark(t *testing.T) {
 		maxHeap:  1 << 30,
 		seed:     1,
 	}}
-	out := capture(t, func() error { return run(o) })
+	var out string
+	errOut := captureErr(t, func() {
+		out = capture(t, func() error { return run(o) })
+	})
 	for _, want := range []string{
 		"Scale workload: 20000 requests, 3 tenants, 8 disks",
 		"Normalized energy (NoPM = 1.0)",
 		"Per-tenant attribution",
-		"Peak heap",
 	} {
 		if !strings.Contains(out, want) {
-			t.Errorf("scale output missing %q:\n%s", want, out)
+			t.Errorf("scale stdout missing %q:\n%s", want, out)
+		}
+	}
+	// Diagnostics stay off stdout so piped tables remain clean.
+	for _, want := range []string{"peak heap", "replay", "synthesized"} {
+		if strings.Contains(out, want) {
+			t.Errorf("diagnostic %q leaked to stdout:\n%s", want, out)
+		}
+		if !strings.Contains(errOut, want) {
+			t.Errorf("diagnostic %q missing from stderr:\n%s", want, errOut)
 		}
 	}
 	// Three tenant rows, each carrying its request count.

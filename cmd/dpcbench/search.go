@@ -7,6 +7,7 @@ import (
 
 	"diskreuse/internal/apps"
 	"diskreuse/internal/layoutopt"
+	"diskreuse/internal/metrics"
 	"diskreuse/internal/obs"
 )
 
@@ -23,7 +24,7 @@ type searchOptions struct {
 // -phased — the phase-aware reconfiguration search that compares switching
 // layouts at nest boundaries (paying the migration bill) against holding
 // the best static layout.
-func runLayoutSearch(o options, size apps.Size) error {
+func runLayoutSearch(o options, size apps.Size, reg *metrics.Registry, rep *metrics.Reporter) error {
 	a, err := apps.ByName(o.search.app, size)
 	if err != nil {
 		return err
@@ -43,10 +44,13 @@ func runLayoutSearch(o options, size apps.Size) error {
 		MaxRounds: o.search.rounds,
 		Jobs:      o.jobs,
 		Span:      root,
+		Metrics:   reg,
 	}
 	fmt.Printf("Layout search: %s (%d arrays, %d phases, size %s)\n",
 		a.Name, e.NumArrays(), e.NumPhases(), o.size)
 
+	rep.Start()
+	defer rep.Stop()
 	if o.search.phased {
 		err = runPhaseSearch(e, opt)
 	} else {
@@ -65,7 +69,7 @@ func runLayoutSearch(o options, size apps.Size) error {
 		if err := tr.WriteChromeTrace(f); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote Chrome trace (%d spans) to %s\n", tr.SpanCount(), o.traceOut)
+		rep.Logf("wrote Chrome trace (%d spans) to %s", tr.SpanCount(), o.traceOut)
 	}
 	return nil
 }

@@ -11,6 +11,7 @@
 //	dpcc -fuzz-case corpusfile         # replay a FuzzPipeline corpus entry
 //	dpcc -fuzz-seed 42                 # replay a drlgen seed through the checker
 //	dpcc -layoutsearch file.drl        # beam search over per-array stripe layouts
+//	dpcc -metrics-addr :9090 -heartbeat 2s file.drl  # live monitoring of a long compile
 //
 // With no file the program is read from standard input. When stdout
 // carries a machine-readable report (-report json/csv), the compiler's
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"diskreuse/internal/apps"
 	"diskreuse/internal/core"
@@ -30,6 +32,7 @@ import (
 	"diskreuse/internal/interp"
 	"diskreuse/internal/layout"
 	"diskreuse/internal/layoutopt"
+	"diskreuse/internal/metrics"
 	"diskreuse/internal/obs"
 	"diskreuse/internal/par"
 	"diskreuse/internal/parser"
@@ -56,6 +59,10 @@ type options struct {
 	// computePerIter is the per-iteration CPU time its traces assume.
 	layoutSearch   bool
 	computePerIter float64
+	// metricsAddr serves the live metrics registry over HTTP; heartbeat
+	// prints a progress line to stderr at the given interval.
+	metricsAddr string
+	heartbeat   time.Duration
 	// srcPath is the positional DRL file; empty reads stdin.
 	srcPath string
 }
@@ -76,6 +83,8 @@ func main() {
 	flag.StringVar(&o.fuzzSeed, "fuzz-seed", "", "replay a drlgen seed through the invariant checker")
 	flag.BoolVar(&o.layoutSearch, "layoutsearch", false, "run the layout search engine's beam search over the program's per-array stripe layouts and print the winner")
 	flag.Float64Var(&o.computePerIter, "compute-per-iter", 1e-3, "CPU seconds per loop iteration assumed by -layoutsearch trace generation")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live metrics over HTTP on this address (/metrics, /healthz, /debug/pprof/)")
+	flag.DurationVar(&o.heartbeat, "heartbeat", 0, "print a progress heartbeat to stderr at this interval (0 disables)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		o.srcPath = flag.Arg(0)
@@ -104,10 +113,29 @@ func run(o options) (err error) {
 	if o.fuzzCase != "" || o.fuzzSeed != "" {
 		return runFuzzCase(o, out)
 	}
+	// Live observability: the tracer's span stream doubles as per-stage
+	// duration histograms on the registry (obs.WithMetrics), so an HTTP
+	// scrape shows where a long compile is spending its time.
+	var reg *metrics.Registry
+	if o.metricsAddr != "" || o.heartbeat > 0 {
+		reg = metrics.NewRegistry()
+	}
+	rep := metrics.NewReporter(metrics.ReporterOptions{Registry: reg, Interval: o.heartbeat})
+	if o.metricsAddr != "" {
+		srv, serr := metrics.Serve(o.metricsAddr, reg)
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		rep.Logf("metrics: serving http://%s/metrics", srv.Addr())
+	}
 	var tr *obs.Tracer
-	if o.traceOut != "" || o.report != "" {
+	if o.traceOut != "" || o.report != "" || reg != nil {
 		tr = obs.NewTracer()
 	}
+	obs.WithMetrics(tr, reg)
+	rep.Start()
+	defer rep.Stop()
 
 	var src []byte
 	if o.srcPath != "" {
@@ -143,6 +171,7 @@ func run(o options) (err error) {
 		return err
 	}
 	ctx := obs.WithPool(context.Background(), tr.Pool())
+	ctx = metrics.WithRegistry(ctx, reg)
 	r, err := core.NewCtx(ctx, prog, lay, core.Options{Jobs: o.jobs, Engine: engine, Span: root})
 	if err != nil {
 		return err
@@ -226,7 +255,7 @@ func run(o options) (err error) {
 		if serr != nil {
 			return serr
 		}
-		res, serr := e.Search(layoutopt.SearchOptions{Jobs: o.jobs, Span: root})
+		res, serr := e.Search(layoutopt.SearchOptions{Jobs: o.jobs, Span: root, Metrics: reg})
 		if serr != nil {
 			return serr
 		}
@@ -261,7 +290,7 @@ func run(o options) (err error) {
 		if err := tr.WriteChromeTrace(f); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote Chrome trace (%d spans) to %s\n", tr.SpanCount(), o.traceOut)
+		rep.Logf("wrote Chrome trace (%d spans) to %s", tr.SpanCount(), o.traceOut)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 const testSrc = `
@@ -219,5 +220,23 @@ func TestLayoutSearchFlag(t *testing.T) {
 	if !strings.Contains(out, "layout search:") || !strings.Contains(out, "T-DRPM") ||
 		!strings.Contains(out, "A=unit=") {
 		t.Errorf("layout search output:\n%s", out)
+	}
+}
+
+// TestRunWithMonitoring: the metrics endpoint and heartbeat must not
+// disturb the compiler's stdout — announcements and heartbeats are stderr
+// concerns, and stage histograms come from the obs bridge invisibly.
+func TestRunWithMonitoring(t *testing.T) {
+	out := withStdio(t, testSrc, func() error {
+		return run(options{showStats: true, procs: 1, jobs: 2,
+			metricsAddr: "127.0.0.1:0", heartbeat: time.Millisecond})
+	})
+	for _, want := range []string{"program: 2 arrays", "original:", "restructured:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("monitored compile stdout missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "metrics: serving") || strings.Contains(out, " req/s") {
+		t.Errorf("monitoring lines leaked to stdout:\n%s", out)
 	}
 }

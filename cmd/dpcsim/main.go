@@ -13,6 +13,18 @@
 //	dpcsim -policy all -json trace.txt     # machine-readable results on stdout
 //	dpcsim -policy all -report text trace.txt      # energy/idle-locality report
 //	dpcsim -policy all -trace-out t.json trace.txt # Chrome trace (Perfetto)
+//	dpcsim -stream -metrics-addr :9090 -heartbeat 2s trace.bin  # monitored out-of-core run
+//
+// -stream replays a chunked binary trace out of core: the file is never
+// slurped, each policy gets a fresh reader, and memory stays at one chunk
+// regardless of trace size. It requires a binary trace file argument
+// (stdin cannot be reopened per policy).
+//
+// -metrics-addr serves the live metrics registry over HTTP (/metrics in
+// Prometheus text format, /healthz, /debug/pprof/) for the lifetime of the
+// run; -heartbeat prints a progress line (requests, rate, ETA, heap,
+// per-disk state mix, energy) to stderr at the given interval. Both are
+// observe-only: results are bit-identical with and without them.
 //
 // With no file the trace is read from standard input. -policy accepts a
 // single policy, a comma-separated list (e.g. "none,tpm,drpm"), or "all";
@@ -36,10 +48,12 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"diskreuse/internal/disk"
 	"diskreuse/internal/exp"
 	"diskreuse/internal/interp"
+	"diskreuse/internal/metrics"
 	"diskreuse/internal/obs"
 	"diskreuse/internal/sim"
 	"diskreuse/internal/trace"
@@ -61,6 +75,9 @@ type options struct {
 	report                 string
 	traceOut               string
 	cpuProfile, memProfile string
+	stream                 bool
+	metricsAddr            string
+	heartbeat              time.Duration
 	// tracePath is the positional trace-file argument; empty reads stdin.
 	tracePath string
 	// disksSet records whether -disks was given explicitly; when it was
@@ -84,6 +101,9 @@ func main() {
 	flag.StringVar(&o.traceOut, "trace-out", "", "write simulation spans as Chrome trace_event JSON to this file (load in Perfetto)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
+	flag.BoolVar(&o.stream, "stream", false, "replay a chunked binary trace out of core (fresh reader per policy; requires a file argument)")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live metrics over HTTP on this address (/metrics, /healthz, /debug/pprof/)")
+	flag.DurationVar(&o.heartbeat, "heartbeat", 0, "print a progress heartbeat to stderr at this interval (0 disables)")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "disks" {
@@ -161,6 +181,23 @@ func run(o options) (err error) {
 			err = perr
 		}
 	}()
+	// Live observability: one registry feeds the HTTP endpoint and the
+	// heartbeat; the Reporter is also the shared stderr sink for one-off
+	// progress lines, so nothing human ever lands on a machine stdout.
+	var reg *metrics.Registry
+	if o.metricsAddr != "" || o.heartbeat > 0 {
+		reg = metrics.NewRegistry()
+	}
+	rep := metrics.NewReporter(metrics.ReporterOptions{Registry: reg, Interval: o.heartbeat})
+	if o.metricsAddr != "" {
+		srv, serr := metrics.Serve(o.metricsAddr, reg)
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		rep.Logf("metrics: serving http://%s/metrics", srv.Addr())
+	}
+
 	// Keep stdout machine-parseable when it carries JSON or CSV: the
 	// human-readable result blocks (and the timeline) move to stderr.
 	human := io.Writer(os.Stdout)
@@ -168,57 +205,75 @@ func run(o options) (err error) {
 		human = os.Stderr
 	}
 	var tr *obs.Tracer
-	if o.traceOut != "" || o.report != "" {
+	if o.traceOut != "" || o.report != "" || reg != nil {
 		tr = obs.NewTracer()
 	}
+	// Bridge ended spans into per-stage duration histograms so a /metrics
+	// scrape shows where the replay is spending its time.
+	obs.WithMetrics(tr, reg)
 
-	var in io.Reader = os.Stdin
-	if o.tracePath != "" {
-		f, err := os.Open(o.tracePath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = f
-	}
-	// Sniff the encoding: the binary magic starts with a non-ASCII byte,
-	// so no valid text trace collides with it. The chunked binary decoder
-	// reports truncated or corrupt chunk headers with the chunk index and
-	// the specific framing violation.
-	sp := tr.Start("decode", "pipeline")
-	br := bufio.NewReader(in)
-	prefix, _ := br.Peek(4)
 	var reqs []trace.Request
-	if trace.IsBinaryTrace(prefix) {
-		rd, rerr := trace.NewReader(br)
-		if rerr != nil {
-			sp.End()
-			return fmt.Errorf("binary trace: %w", rerr)
+	var streamTotal int64
+	if o.stream {
+		if o.tracePath == "" {
+			return fmt.Errorf("-stream requires a trace file argument (stdin cannot be reopened per policy)")
 		}
-		if hdr := rd.Header(); !o.disksSet && hdr.NumDisks > 0 {
+		hdr, herr := streamHeader(o.tracePath)
+		if herr != nil {
+			return herr
+		}
+		if !o.disksSet && hdr.NumDisks > 0 {
 			o.disks = hdr.NumDisks
 		}
-		if n := rd.Requests(); n > 0 && n <= int64(int(^uint(0)>>1)) {
-			reqs = make([]trace.Request, 0, n)
-		}
-		for {
-			chunk, cerr := rd.Next()
-			if cerr == io.EOF {
-				break
+		streamTotal = hdr.NumRequests
+	} else {
+		var in io.Reader = os.Stdin
+		if o.tracePath != "" {
+			f, err := os.Open(o.tracePath)
+			if err != nil {
+				return err
 			}
-			if cerr != nil {
-				rd.Close()
+			defer f.Close()
+			in = f
+		}
+		// Sniff the encoding: the binary magic starts with a non-ASCII byte,
+		// so no valid text trace collides with it. The chunked binary decoder
+		// reports truncated or corrupt chunk headers with the chunk index and
+		// the specific framing violation.
+		sp := tr.Start("decode", "pipeline")
+		br := bufio.NewReader(in)
+		prefix, _ := br.Peek(4)
+		if trace.IsBinaryTrace(prefix) {
+			rd, rerr := trace.NewReader(br)
+			if rerr != nil {
 				sp.End()
-				return fmt.Errorf("binary trace: %w", cerr)
+				return fmt.Errorf("binary trace: %w", rerr)
 			}
-			reqs = append(reqs, chunk...)
+			if hdr := rd.Header(); !o.disksSet && hdr.NumDisks > 0 {
+				o.disks = hdr.NumDisks
+			}
+			if n := rd.Requests(); n > 0 && n <= int64(int(^uint(0)>>1)) {
+				reqs = make([]trace.Request, 0, n)
+			}
+			for {
+				chunk, cerr := rd.Next()
+				if cerr == io.EOF {
+					break
+				}
+				if cerr != nil {
+					rd.Close()
+					sp.End()
+					return fmt.Errorf("binary trace: %w", cerr)
+				}
+				reqs = append(reqs, chunk...)
+			}
+			rd.Close()
+		} else if reqs, err = trace.Decode(br); err != nil {
+			sp.End()
+			return err
 		}
-		rd.Close()
-	} else if reqs, err = trace.Decode(br); err != nil {
 		sp.End()
-		return err
 	}
-	sp.End()
 	if o.unit%o.pageSize != 0 {
 		return fmt.Errorf("stripe unit %d must be a multiple of the page size %d", o.unit, o.pageSize)
 	}
@@ -238,45 +293,69 @@ func run(o options) (err error) {
 		rec = viz.NewRecorder()
 	}
 
-	// The trace is prepared once — sorted, disk-attributed, carved per
-	// disk — and shared read-only; each policy's simulation is
-	// independent, so they fan out over the pool and the reports print in
-	// the order the policies were given.
-	sp = tr.Start("prepare-trace", "pipeline")
-	pt, err := sim.PrepareTrace(reqs, diskOf, o.disks)
-	sp.End()
-	if err != nil {
-		return err
-	}
 	results := make([]*sim.Result, len(pols))
 	tels := make([]*obs.SimTelemetry, len(pols))
-	ctx := obs.WithPool(context.Background(), tr.Pool())
-	err = exp.ForEach(ctx, len(pols), o.jobs, func(_ context.Context, i int) error {
-		root := tr.Start("sim", "sim")
-		root.SetAttr("policy", pols[i].String())
-		defer root.End()
-		tels[i] = obs.NewSimTelemetry(o.disks)
-		cfg := sim.Config{
-			Model:     model,
-			NumDisks:  o.disks,
-			Policy:    pols[i],
-			Jobs:      o.jobs,
-			Telemetry: tels[i],
-			Span:      root,
+	total := streamTotal
+	if !o.stream {
+		total = int64(len(reqs))
+	}
+	rep.SetTotal(total * int64(len(pols)))
+	rep.Start()
+	defer rep.Stop()
+	if o.stream {
+		// Each policy replays sequentially from a fresh reader: the binary
+		// file is the shared store, memory stays at one chunk, and the
+		// per-disk state gauges always describe the one live simulation.
+		for i := range pols {
+			if err := o.runStreamPolicy(pols[i], i, reg, tr, rec, model, diskOf, results, tels); err != nil {
+				return err
+			}
 		}
-		if rec != nil {
-			cfg.Record = rec.Record
+	} else {
+		// The trace is prepared once — sorted, disk-attributed, carved per
+		// disk — and shared read-only; each policy's simulation is
+		// independent, so they fan out over the pool and the reports print in
+		// the order the policies were given.
+		sp := tr.Start("prepare-trace", "pipeline")
+		pt, perr := sim.PrepareTrace(reqs, diskOf, o.disks)
+		sp.End()
+		if perr != nil {
+			return perr
 		}
-		res, err := sim.RunPrepared(pt, cfg)
+		ctx := obs.WithPool(context.Background(), tr.Pool())
+		ctx = metrics.WithRegistry(ctx, reg)
+		err = exp.ForEach(ctx, len(pols), o.jobs, func(_ context.Context, i int) error {
+			root := tr.Start("sim", "sim")
+			root.SetAttr("policy", pols[i].String())
+			defer root.End()
+			tels[i] = obs.NewSimTelemetry(o.disks)
+			cfg := sim.Config{
+				Model:     model,
+				NumDisks:  o.disks,
+				Policy:    pols[i],
+				Jobs:      o.jobs,
+				Telemetry: tels[i],
+				Span:      root,
+				Metrics:   reg,
+			}
+			if rec != nil {
+				cfg.Record = rec.Record
+			}
+			res, err := sim.RunPrepared(pt, cfg)
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		results[i] = res
-		return nil
-	})
-	if err != nil {
-		return err
 	}
+	// Halt the heartbeat before the result blocks so stderr lines never
+	// interleave with them (Stop is idempotent; the defer backs up early
+	// returns).
+	rep.Stop()
 
 	for i, res := range results {
 		if i > 0 {
@@ -379,7 +458,67 @@ func run(o options) (err error) {
 		if err := tr.WriteChromeTrace(f); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote Chrome trace (%d spans) to %s\n", tr.SpanCount(), o.traceOut)
+		rep.Logf("wrote Chrome trace (%d spans) to %s", tr.SpanCount(), o.traceOut)
 	}
+	return nil
+}
+
+// streamHeader opens path just long enough to read the chunked binary
+// header: -stream adopts its disk count and sizes the heartbeat from its
+// request count without decoding any chunk.
+func streamHeader(path string) (trace.Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.Header{}, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	prefix, _ := br.Peek(4)
+	if !trace.IsBinaryTrace(prefix) {
+		return trace.Header{}, fmt.Errorf("-stream requires the chunked binary trace format (synthesize one with dpcbench -scale -scale-file)")
+	}
+	rd, err := trace.NewReader(br)
+	if err != nil {
+		return trace.Header{}, fmt.Errorf("binary trace: %w", err)
+	}
+	defer rd.Close()
+	return rd.Header(), nil
+}
+
+// runStreamPolicy replays one policy out of core from a fresh reader over
+// the binary trace file, publishing decode and replay progress to reg.
+func (o options) runStreamPolicy(pol sim.Policy, i int, reg *metrics.Registry, tr *obs.Tracer, rec *viz.Recorder, model disk.Model, diskOf func(block int64) (int, error), results []*sim.Result, tels []*obs.SimTelemetry) error {
+	f, err := os.Open(o.tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd, err := trace.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return fmt.Errorf("binary trace: %w", err)
+	}
+	defer rd.Close()
+	rd.SetMetrics(reg)
+	root := tr.Start("sim", "sim")
+	root.SetAttr("policy", pol.String())
+	defer root.End()
+	tels[i] = obs.NewSimTelemetry(o.disks)
+	cfg := sim.Config{
+		Model:     model,
+		NumDisks:  o.disks,
+		Policy:    pol,
+		Jobs:      o.jobs,
+		Telemetry: tels[i],
+		Span:      root,
+		Metrics:   reg,
+	}
+	if rec != nil {
+		cfg.Record = rec.Record
+	}
+	res, err := sim.RunStream(rd, diskOf, cfg)
+	if err != nil {
+		return err
+	}
+	results[i] = res
 	return nil
 }

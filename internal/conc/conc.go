@@ -17,7 +17,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"diskreuse/internal/metrics"
 	"diskreuse/internal/obs"
+)
+
+// Live pool metrics published when the context carries a metrics registry
+// (metrics.WithRegistry): occupancy and queue depth are gauges a monitoring
+// scrape can watch mid-run, tasks a counter.
+const (
+	metricPoolWorkersBusy = "conc_pool_workers_busy"
+	metricPoolQueueDepth  = "conc_pool_queue_depth"
+	metricPoolTasksTotal  = "conc_pool_tasks_total"
 )
 
 // ForEach runs fn(ctx, i) for every i in [0, n) on a bounded worker pool of
@@ -35,7 +45,10 @@ import (
 //
 // When the context carries a worker-pool statistics sink (obs.WithPool),
 // ForEach records each task's duration and the pool's wall time × worker
-// count into it; without one the pool pays only a context lookup.
+// count into it; without one the pool pays only a context lookup. When it
+// carries a live-metrics registry (metrics.WithRegistry), ForEach also
+// publishes pool occupancy and queue-depth gauges and a completed-task
+// counter, readable mid-run over the monitoring endpoint.
 func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -56,6 +69,30 @@ func ForEach(ctx context.Context, n, jobs int, fn func(ctx context.Context, i in
 		}
 		poolStart := time.Now()
 		defer func() { stats.ObservePool(time.Since(poolStart), jobs) }()
+	}
+	if reg := metrics.FromContext(ctx); reg != nil {
+		busy := reg.Gauge(metricPoolWorkersBusy, "worker goroutines currently running a task")
+		depth := reg.Gauge(metricPoolQueueDepth, "indices not yet dispatched to a worker")
+		tasks := reg.Counter(metricPoolTasksTotal, "pool tasks completed")
+		depth.Add(float64(n))
+		var dispatched atomic.Int64
+		inner := fn
+		fn = func(ctx context.Context, i int) error {
+			dispatched.Add(1)
+			depth.Dec()
+			busy.Inc()
+			err := inner(ctx, i)
+			busy.Dec()
+			tasks.Inc()
+			return err
+		}
+		// Indices this call never dispatched (error/cancel) must not leave
+		// the shared depth gauge dangling after the pool drains.
+		defer func() {
+			if left := int64(n) - dispatched.Load(); left > 0 {
+				depth.Add(float64(-left))
+			}
+		}()
 	}
 	if jobs == 1 {
 		for i := 0; i < n; i++ {

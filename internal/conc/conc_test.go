@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"diskreuse/internal/metrics"
 	"diskreuse/internal/obs"
 )
 
@@ -255,5 +256,50 @@ func TestForEachPoolStatsOnError(t *testing.T) {
 	// Serial path stops at the failure: tasks 0 and 1 observed.
 	if s.Tasks != 2 || s.Pools != 1 {
 		t.Errorf("pools/tasks = %d/%d, want 1/2", s.Pools, s.Tasks)
+	}
+}
+
+// The pool publishes live gauges and counters when the context carries a
+// metrics registry, and settles them back to zero when the pool drains.
+func TestForEachMetrics(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		reg := metrics.NewRegistry()
+		ctx := metrics.WithRegistry(context.Background(), reg)
+		err := ForEach(ctx, 10, jobs, func(context.Context, int) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := reg.Value("conc_pool_tasks_total"); v != 10 {
+			t.Errorf("jobs=%d: tasks counter = %v, want 10", jobs, v)
+		}
+		if v, _ := reg.Value("conc_pool_workers_busy"); v != 0 {
+			t.Errorf("jobs=%d: busy gauge = %v after drain, want 0", jobs, v)
+		}
+		if v, _ := reg.Value("conc_pool_queue_depth"); v != 0 {
+			t.Errorf("jobs=%d: depth gauge = %v after drain, want 0", jobs, v)
+		}
+	}
+}
+
+// An erroring pool must still settle the queue-depth gauge: undispatched
+// indices are drained on return, not leaked into the next run.
+func TestForEachMetricsOnError(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ctx := metrics.WithRegistry(context.Background(), reg)
+	wantErr := errors.New("boom")
+	err := ForEach(ctx, 100, 2, func(_ context.Context, i int) error {
+		if i == 3 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if v, _ := reg.Value("conc_pool_queue_depth"); v != 0 {
+		t.Errorf("depth gauge = %v after error, want 0", v)
+	}
+	if v, _ := reg.Value("conc_pool_workers_busy"); v != 0 {
+		t.Errorf("busy gauge = %v after error, want 0", v)
 	}
 }

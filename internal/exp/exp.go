@@ -15,6 +15,7 @@ import (
 	"diskreuse/internal/disk"
 	"diskreuse/internal/interp"
 	"diskreuse/internal/layout"
+	"diskreuse/internal/metrics"
 	"diskreuse/internal/obs"
 	"diskreuse/internal/par"
 	"diskreuse/internal/sema"
@@ -110,7 +111,20 @@ type Options struct {
 	// deterministic interval stream, so results stay bit-identical with or
 	// without a tracer.
 	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives live harness progress — apps
+	// prepared, per-app (app, version) simulation cells finished — plus the
+	// simulator's and worker pool's own live series (it is threaded into
+	// sim.Config.Metrics and the pool context), so a monitoring scrape
+	// shows where a long suite run is. Observe-only; results stay
+	// bit-identical with metrics enabled.
+	Metrics *metrics.Registry
 }
+
+// Live metric names the harness publishes when Options.Metrics is set.
+const (
+	metricAppsPrepared = "exp_apps_prepared_total"
+	metricVersionsDone = "exp_versions_simulated_total"
+)
 
 func (o *Options) fill() {
 	if o.Procs <= 0 {
@@ -451,6 +465,7 @@ func (art *artifacts) runVersion(v Version, opt Options) (RunResult, error) {
 		Jobs:         opt.Jobs,
 		Telemetry:    tel,
 		Span:         root,
+		Metrics:      opt.Metrics,
 	}
 	if v == VPTPM {
 		cfg.Policy = sim.TPM
@@ -495,6 +510,10 @@ func (art *artifacts) runVersion(v Version, opt Options) (RunResult, error) {
 	rr.MeanIdle = idle.MeanIdleS
 	rr.LongestIdle = idle.LongestIdleS
 	rr.IdleHist = tel.Histogram()
+	if opt.Metrics != nil {
+		opt.Metrics.Counter(metricVersionsDone, "(app, version) simulation cells finished",
+			metrics.L("app", art.app.Name)).Inc()
+	}
 	return rr, nil
 }
 
@@ -534,6 +553,7 @@ func RunAppContext(ctx context.Context, a apps.App, opt Options) (*AppResult, er
 	}
 	opt.fill()
 	ctx = obs.WithPool(ctx, opt.Tracer.Pool())
+	ctx = metrics.WithRegistry(ctx, opt.Metrics)
 	art, err := prepareApp(ctx, a, opt)
 	if err != nil {
 		return nil, err
@@ -581,6 +601,7 @@ func RunSuiteContext(ctx context.Context, opt Options) (*SuiteResult, error) {
 	}
 	opt.fill()
 	ctx = obs.WithPool(ctx, opt.Tracer.Pool())
+	ctx = metrics.WithRegistry(ctx, opt.Metrics)
 	suite := apps.Suite(opt.Size)
 	versions := versionsOf(opt)
 
@@ -591,6 +612,9 @@ func RunSuiteContext(ctx context.Context, opt Options) (*SuiteResult, error) {
 			return err
 		}
 		arts[i] = a
+		if opt.Metrics != nil {
+			opt.Metrics.Counter(metricAppsPrepared, "application pipelines prepared").Inc()
+		}
 		return nil
 	})
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"diskreuse/internal/apps"
 	"diskreuse/internal/disk"
+	"diskreuse/internal/metrics"
 	"diskreuse/internal/sema"
 )
 
@@ -342,5 +343,45 @@ func TestWriteCSV(t *testing.T) {
 		if _, err := strconv.ParseFloat(rec[3], 64); err != nil {
 			t.Fatalf("bad energy field %q", rec[3])
 		}
+	}
+}
+
+// A metrics-enabled suite run publishes harness progress that reconciles
+// with the suite shape, and the results stay bit-identical to a
+// metrics-free run.
+func TestSuiteMetrics(t *testing.T) {
+	plain, err := RunSuite(Options{Size: apps.Tiny, Procs: 2, Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	live, err := RunSuite(Options{Size: apps.Tiny, Procs: 2, Jobs: 4, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, live) {
+		t.Error("suite result differs with metrics enabled")
+	}
+	nApps := len(live.Apps)
+	if v, _ := reg.Value("exp_apps_prepared_total"); v != float64(nApps) {
+		t.Errorf("apps-prepared counter = %v, want %d", v, nApps)
+	}
+	var cells, wantReqs float64
+	for i := range live.Apps {
+		v, _ := reg.Value("exp_versions_simulated_total", metrics.L("app", live.Apps[i].App.Name))
+		cells += v
+		if v != float64(len(live.Apps[i].Results)) {
+			t.Errorf("%s: versions counter = %v, want %d", live.Apps[i].App.Name, v, len(live.Apps[i].Results))
+		}
+		for j := range live.Apps[i].Results {
+			wantReqs += float64(live.Apps[i].Results[j].Requests)
+		}
+	}
+	// The simulator's live series rode along on the same registry.
+	if v, _ := reg.Value(metrics.SimRequestsReplayed); v != wantReqs {
+		t.Errorf("sim requests counter = %v, want %v", v, wantReqs)
+	}
+	if v, _ := reg.Value("conc_pool_tasks_total"); v == 0 {
+		t.Error("pool task counter never moved")
 	}
 }

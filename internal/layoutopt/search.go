@@ -7,7 +7,17 @@ import (
 	"strconv"
 
 	"diskreuse/internal/conc"
+	"diskreuse/internal/metrics"
 	"diskreuse/internal/obs"
+)
+
+// Live metric names the beam search publishes when SearchOptions.Metrics
+// is set.
+const (
+	metricSearchRounds     = "layoutopt_beam_rounds_total"
+	metricSearchCandidates = "layoutopt_candidates_total"
+	metricSearchCacheHits  = "layoutopt_score_cache_hits_total"
+	metricSearchScored     = "layoutopt_candidates_scored_total"
 )
 
 // SearchOptions configures the beam search over per-array layouts.
@@ -30,6 +40,11 @@ type SearchOptions struct {
 	// "beam-round" child per round and a "score" child per scored
 	// candidate, so Chrome traces show search occupancy.
 	Span *obs.Span
+	// Metrics, when non-nil, receives live search progress — beam rounds,
+	// candidates processed and scored, score-cache hits — readable mid-run
+	// over the monitoring endpoint. Observe-only: the search never reads a
+	// metric back, so the beam stays bit-identical with metrics enabled.
+	Metrics *metrics.Registry
 }
 
 func (o SearchOptions) withDefaults() SearchOptions {
@@ -180,6 +195,20 @@ func (e *Engine) SearchIn(phase int, opt SearchOptions) (*SearchResult, error) {
 	res := &SearchResult{}
 	visited := map[string]bool{}
 
+	// Live progress counters (nil handles when no registry is configured).
+	var mRounds, mCand *metrics.Counter
+	if opt.Metrics != nil {
+		mRounds = opt.Metrics.Counter(metricSearchRounds, "beam search expansion rounds run")
+		mCand = opt.Metrics.Counter(metricSearchCandidates, "beam search candidates processed")
+		// The cache and scored counts are deltas over the engine's own
+		// counters; they are published once at the end of the search.
+		defer func() {
+			hits1, misses1 := e.CacheStats()
+			opt.Metrics.Counter(metricSearchCacheHits, "score-cache hits during beam searches").Add(float64(hits1 - hits0))
+			opt.Metrics.Counter(metricSearchScored, "candidates actually scored (cache misses)").Add(float64(misses1 - misses0))
+		}()
+	}
+
 	// score evaluates a batch of unvisited candidates in slot order.
 	score := func(batch []Assignment, round *obs.Span) ([]*Score, error) {
 		out := make([]*Score, len(batch))
@@ -198,6 +227,7 @@ func (e *Engine) SearchIn(phase int, opt SearchOptions) (*SearchResult, error) {
 			return nil, err
 		}
 		res.Candidates += len(batch)
+		mCand.Add(float64(len(batch)))
 		return out, nil
 	}
 
@@ -250,6 +280,7 @@ func (e *Engine) SearchIn(phase int, opt SearchOptions) (*SearchResult, error) {
 			return nil, err
 		}
 		res.Rounds++
+		mRounds.Inc()
 		prevBest := beam[0].Best()
 		pool := append(beam, scored...)
 		pool = pruneDominated(pool)

@@ -7,6 +7,7 @@ import (
 
 	"diskreuse/internal/apps"
 	"diskreuse/internal/drlgen"
+	"diskreuse/internal/metrics"
 )
 
 // smallSearch keeps determinism tests cheap: a reduced menu and beam.
@@ -209,5 +210,51 @@ func TestSearchRejections(t *testing.T) {
 	// A menu with a sub-page unit fails inside the scorer and must surface.
 	if _, err := e.Search(SearchOptions{Units: []int64{1 << 10}, Jobs: 1}); err == nil {
 		t.Error("sub-page unit menu must propagate the scoring error")
+	}
+}
+
+// A search with a metrics registry publishes progress counters that
+// reconcile with the SearchResult, and the beam itself stays bit-identical
+// to a metrics-free search.
+func TestSearchMetrics(t *testing.T) {
+	a, err := apps.ByName("cholesky", apps.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ePlain, err := NewEngine(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPlain, err := ePlain.SearchIn(WholeProgram, smallSearch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	eLive, err := NewEngine(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := smallSearch(4)
+	opt.Metrics = reg
+	rLive, err := eLive.SearchIn(WholeProgram, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if beamFingerprint(rPlain) != beamFingerprint(rLive) {
+		t.Error("beam differs with metrics enabled")
+	}
+	if v, _ := reg.Value("layoutopt_beam_rounds_total"); v != float64(rLive.Rounds) {
+		t.Errorf("rounds counter = %v, want %d", v, rLive.Rounds)
+	}
+	if v, _ := reg.Value("layoutopt_candidates_total"); v != float64(rLive.Candidates) {
+		t.Errorf("candidates counter = %v, want %d", v, rLive.Candidates)
+	}
+	if v, _ := reg.Value("layoutopt_candidates_scored_total"); v != float64(rLive.Scored) {
+		t.Errorf("scored counter = %v, want %d", v, rLive.Scored)
+	}
+	if v, _ := reg.Value("layoutopt_score_cache_hits_total"); v != float64(rLive.CacheHits) {
+		t.Errorf("cache-hit counter = %v, want %d", v, rLive.CacheHits)
 	}
 }

@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one exposed time-series value. Histograms expand into their
+// Prometheus component series: one NAME_bucket sample per bucket (with an
+// "le" label, cumulative counts), NAME_sum, and NAME_count.
+type Sample struct {
+	// Name is the sample's full exposition name (family name, or the
+	// _bucket/_sum/_count suffix form for histogram components).
+	Name string
+	// Labels are the sample's labels, sorted by key ("le" last for
+	// histogram buckets, matching exposition order).
+	Labels []Label
+	Value  float64
+}
+
+// id is the sample's sort identity: name, then label signature.
+func (s Sample) id() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('\x00')
+	for _, l := range s.Labels {
+		b.WriteString(l.Key)
+		b.WriteByte('\x00')
+		b.WriteString(l.Value)
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// snapshotFamily is one family's deterministic view.
+type snapshotFamily struct {
+	name, help, kind string
+	samples          []Sample
+}
+
+// snapshot copies the registry into a stable-sorted view: families by
+// name, series by label signature, histogram buckets in ascending bound
+// order. Within one series the component reads are not atomic as a group
+// (a scrape may see a count one observation ahead of the sum), which is
+// the standard Prometheus exposure contract.
+func (r *Registry) snapshot() []snapshotFamily {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	// Copy the series maps under the lock; values are read outside it
+	// (they are atomics, safe to read concurrently with writers).
+	type famView struct {
+		f    *family
+		keys []string
+		sers map[string]any
+	}
+	views := make([]famView, len(fams))
+	for i, f := range fams {
+		v := famView{f: f, sers: make(map[string]any, len(f.series))}
+		for k, s := range f.series {
+			v.keys = append(v.keys, k)
+			v.sers[k] = s
+		}
+		sort.Strings(v.keys)
+		views[i] = v
+	}
+	r.mu.Unlock()
+
+	sort.Slice(views, func(i, j int) bool { return views[i].f.name < views[j].f.name })
+	out := make([]snapshotFamily, 0, len(views))
+	for _, v := range views {
+		sf := snapshotFamily{name: v.f.name, help: v.f.help, kind: v.f.kind}
+		for _, k := range v.keys {
+			switch m := v.sers[k].(type) {
+			case *Counter:
+				sf.samples = append(sf.samples, Sample{Name: v.f.name, Labels: m.labels, Value: m.Value()})
+			case *Gauge:
+				sf.samples = append(sf.samples, Sample{Name: v.f.name, Labels: m.labels, Value: m.Value()})
+			case *Histogram:
+				sf.samples = append(sf.samples, histogramSamples(v.f.name, m)...)
+			}
+		}
+		out = append(out, sf)
+	}
+	return out
+}
+
+// histogramSamples expands one histogram series into its exposition
+// components. Bucket counts are cumulative, as the text format requires.
+func histogramSamples(name string, h *Histogram) []Sample {
+	out := make([]Sample, 0, len(h.upper)+3)
+	var cum int64
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		out = append(out, Sample{
+			Name:   name + "_bucket",
+			Labels: append(append([]Label(nil), h.labels...), Label{"le", formatValue(ub)}),
+			Value:  float64(cum),
+		})
+	}
+	cum += h.inf.Load()
+	out = append(out, Sample{
+		Name:   name + "_bucket",
+		Labels: append(append([]Label(nil), h.labels...), Label{"le", "+Inf"}),
+		Value:  float64(cum),
+	})
+	out = append(out,
+		Sample{Name: name + "_sum", Labels: h.labels, Value: h.Sum()},
+		Sample{Name: name + "_count", Labels: h.labels, Value: float64(h.Count())})
+	return out
+}
+
+// Snapshot returns every sample in the registry, stable-sorted by (name,
+// labels) so repeated snapshots of unchanged values are byte-identical —
+// the property the golden exposition tests pin. A nil registry snapshots
+// to nil.
+func (r *Registry) Snapshot() []Sample {
+	var out []Sample
+	for _, f := range r.snapshot() {
+		out = append(out, f.samples...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id() < out[j].id() })
+	return out
+}
+
+// formatValue renders a sample value: integers (the overwhelmingly common
+// case for counters) print without an exponent, everything else in the
+// shortest round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue applies the exposition format's label-value escaping:
+// backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies HELP-line escaping: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// writeSample renders one exposition line.
+func writeSample(w io.Writer, s Sample) error {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	if len(s.Labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range s.Labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabelValue(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(s.Value))
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteExposition renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each with its HELP and
+// TYPE lines, series sorted by label signature, histogram buckets
+// cumulative and closed by +Inf. The output is deterministic for fixed
+// values, so tests can golden-pin it. A nil registry writes nothing.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.samples {
+			if err := writeSample(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry populates a registry exercising every exposition
+// feature: multiple families (registered out of name order), multiple
+// labeled series, label escaping, and a histogram.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Gauge("zeta_depth", "current queue depth").Set(3)
+	r.Counter("alpha_requests_total", "requests replayed", L("disk", "1")).Add(7)
+	r.Counter("alpha_requests_total", "requests replayed", L("disk", "0")).Add(12)
+	r.Counter("esc_total", `has "quotes" and \slashes`, L("path", "a\\b\"c\nd")).Inc()
+	h := r.Histogram("stage_seconds", "stage durations", []float64{0.1, 1, 10}, L("stage", "parse"))
+	// Binary-exact observations so the golden _sum line is fp-stable.
+	for _, v := range []float64{0.0625, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	return r
+}
+
+const goldenExposition = `# HELP alpha_requests_total requests replayed
+# TYPE alpha_requests_total counter
+alpha_requests_total{disk="0"} 12
+alpha_requests_total{disk="1"} 7
+# HELP esc_total has "quotes" and \\slashes
+# TYPE esc_total counter
+esc_total{path="a\\b\"c\nd"} 1
+# HELP stage_seconds stage durations
+# TYPE stage_seconds histogram
+stage_seconds_bucket{stage="parse",le="0.1"} 1
+stage_seconds_bucket{stage="parse",le="1"} 3
+stage_seconds_bucket{stage="parse",le="10"} 4
+stage_seconds_bucket{stage="parse",le="+Inf"} 5
+stage_seconds_sum{stage="parse"} 56.0625
+stage_seconds_count{stage="parse"} 5
+# HELP zeta_depth current queue depth
+# TYPE zeta_depth gauge
+zeta_depth 3
+`
+
+func TestWriteExpositionGolden(t *testing.T) {
+	r := buildTestRegistry()
+	var b bytes.Buffer
+	if err := r.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenExposition {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), goldenExposition)
+	}
+	// Determinism: a second render of unchanged values is byte-identical.
+	var b2 bytes.Buffer
+	r.WriteExposition(&b2)
+	if !bytes.Equal(b.Bytes(), b2.Bytes()) {
+		t.Fatal("repeated exposition not byte-identical")
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := buildTestRegistry()
+	var b bytes.Buffer
+	if err := r.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := parsePromText(&b)
+	if err != nil {
+		t.Fatalf("exposition not machine-parseable: %v", err)
+	}
+
+	// Families come back sorted by name with the right kinds and help.
+	wantKinds := map[string]string{
+		"alpha_requests_total": kindCounter,
+		"esc_total":            kindCounter,
+		"stage_seconds":        kindHistogram,
+		"zeta_depth":           kindGauge,
+	}
+	if len(fams) != len(wantKinds) {
+		t.Fatalf("parsed %d families, want %d", len(fams), len(wantKinds))
+	}
+	for i := 1; i < len(fams); i++ {
+		if fams[i-1].Name >= fams[i].Name {
+			t.Fatalf("families not sorted: %q before %q", fams[i-1].Name, fams[i].Name)
+		}
+	}
+	for _, f := range fams {
+		if f.Kind != wantKinds[f.Name] {
+			t.Fatalf("family %q kind %q, want %q", f.Name, f.Kind, wantKinds[f.Name])
+		}
+	}
+
+	// The escaped label value survives the round trip.
+	var escVal string
+	for _, f := range fams {
+		if f.Name != "esc_total" {
+			continue
+		}
+		if f.Help != `has "quotes" and \slashes` {
+			t.Fatalf("help not round-tripped: %q", f.Help)
+		}
+		escVal = f.Samples[0].Labels[0].Value
+	}
+	if escVal != "a\\b\"c\nd" {
+		t.Fatalf("label value not round-tripped: %q", escVal)
+	}
+
+	// Parsed samples match Snapshot exactly (same name/labels/value set).
+	var parsed []Sample
+	for _, f := range fams {
+		parsed = append(parsed, f.Samples...)
+	}
+	snap := r.Snapshot()
+	if len(parsed) != len(snap) {
+		t.Fatalf("parsed %d samples, snapshot has %d", len(parsed), len(snap))
+	}
+	byID := map[string]float64{}
+	for _, s := range snap {
+		byID[s.id()] = s.Value
+	}
+	for _, s := range parsed {
+		want, ok := byID[s.id()]
+		if !ok {
+			t.Fatalf("parsed sample %q not in snapshot", s.id())
+		}
+		if s.Value != want {
+			t.Fatalf("sample %s = %v, snapshot has %v", s.Name, s.Value, want)
+		}
+	}
+}
+
+func TestHistogramBucketCumulativity(t *testing.T) {
+	r := buildTestRegistry()
+	var b bytes.Buffer
+	r.WriteExposition(&b)
+	fams, err := parsePromText(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fams {
+		if f.Kind != kindHistogram {
+			continue
+		}
+		var prev float64 = -1
+		var lastBucket, count float64
+		sawInf := false
+		for _, s := range f.Samples {
+			switch s.Name {
+			case f.Name + "_bucket":
+				if s.Value < prev {
+					t.Fatalf("%s buckets not cumulative: %v after %v", f.Name, s.Value, prev)
+				}
+				prev, lastBucket = s.Value, s.Value
+				for _, l := range s.Labels {
+					if l.Key == "le" && l.Value == "+Inf" {
+						sawInf = true
+					}
+				}
+			case f.Name + "_count":
+				count = s.Value
+			}
+		}
+		if !sawInf {
+			t.Fatalf("%s missing +Inf bucket", f.Name)
+		}
+		if lastBucket != count {
+			t.Fatalf("%s +Inf bucket %v != count %v", f.Name, lastBucket, count)
+		}
+	}
+}
+
+func TestSnapshotStability(t *testing.T) {
+	r := buildTestRegistry()
+	a, b := r.Snapshot(), r.Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("snapshot lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].id() != b[i].id() || a[i].Value != b[i].Value {
+			t.Fatalf("snapshot not stable at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].id() >= a[i].id() {
+			t.Fatalf("snapshot not sorted at %d", i)
+		}
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {1, "1"}, {12, "12"}, {-3, "-3"},
+		{0.1, "0.1"}, {56.05, "56.05"}, {3.16e-4, "0.000316"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.v); got != c.want {
+			t.Errorf("formatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	// Whatever the rendering, it must parse back to the same float.
+	for _, v := range []float64{1e20, 1.5e-9, 123456789.25} {
+		got := formatValue(v)
+		back, err := strconv.ParseFloat(got, 64)
+		if err != nil || back != v {
+			t.Errorf("formatValue(%v) = %q does not round-trip (%v, %v)", v, got, back, err)
+		}
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	if got := escapeLabelValue(`plain`); got != "plain" {
+		t.Errorf("plain value altered: %q", got)
+	}
+	if got := escapeLabelValue("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Errorf("escape = %q", got)
+	}
+	if !strings.Contains(goldenExposition, `path="a\\b\"c\nd"`) {
+		t.Error("golden does not pin the escaped form")
+	}
+}

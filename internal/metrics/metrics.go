@@ -1,0 +1,386 @@
+// Package metrics is the repository's live-metrics leaf: a registry of
+// atomic counters, gauges, and lock-free fixed-bucket histograms with
+// Prometheus text-format exposition, built for in-flight observation of
+// long runs — the counters internal/sim, internal/trace, internal/conc,
+// internal/layoutopt, and internal/exp publish are readable while the
+// pipeline is still running, unlike the post-hoc span reports of
+// internal/obs.
+//
+// The package imports only the standard library and sits below every other
+// internal package (including internal/obs, which bridges span timings
+// into a Registry), so any layer can publish without import cycles.
+//
+// Everything is nil-tolerant, mirroring obs.Tracer's no-op fast path: a
+// nil *Registry hands out nil *Counter/*Gauge/*Histogram values whose
+// methods return immediately, so instrumented hot loops pay one pointer
+// check when metrics are off and nothing allocates. Metrics are strictly
+// observe-only: nothing in this package is ever read back by the
+// instrumented code, so enabling a registry cannot perturb deterministic
+// results.
+package metrics
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name/value pair attached to a metric. Metrics with the same
+// family name but different label sets are distinct series, exactly as in
+// the Prometheus data model.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metric kinds, in exposition TYPE-line spelling.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// Registry holds metric families keyed by name. All methods are safe for
+// concurrent use; getters take a mutex only on the (cold) lookup path,
+// while the returned handles update lock-free atomics. A nil *Registry is
+// a valid no-op sink.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name, help string
+	kind       string
+	buckets    []float64 // histogram upper bounds (without +Inf)
+	series     map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName enforces the Prometheus metric/label name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]* (labels additionally may not contain ':', but
+// none of ours do; the stricter check keeps both valid).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// seriesKey is the canonical label signature of one series: labels sorted
+// by key, tab-separated — never shown to users, only a map key.
+func seriesKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	key := ""
+	for _, l := range ls {
+		key += l.Key + "\x00" + l.Value + "\x00"
+	}
+	return key
+}
+
+// sortedLabels returns a sorted copy of labels (the order series are
+// exposed and snapshotted in).
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// lookup returns the series for (name, labels), creating family and series
+// with mk on first use. Mismatched kind or help on re-registration is a
+// programming error and panics, like a duplicate flag registration.
+func (r *Registry) lookup(name, help, kind string, buckets []float64, labels []Label, mk func(ls []Label) any) any {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on metric %q", l.Key, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: make(map[string]any)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("metrics: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	key := seriesKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = mk(sortedLabels(labels))
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the named monotonically increasing counter, creating it
+// on first use. Returns nil (a no-op) when the registry is nil.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, nil, labels, func(ls []Label) any {
+		return &Counter{labels: ls}
+	}).(*Counter)
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil (a
+// no-op) when the registry is nil.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, nil, labels, func(ls []Label) any {
+		return &Gauge{labels: ls}
+	}).(*Gauge)
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it on first
+// use. buckets are the inclusive upper bounds, strictly increasing; the
+// implicit +Inf bucket is always appended. Histograms created earlier keep
+// their original buckets. Returns nil (a no-op) when the registry is nil.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("metrics: histogram %q buckets must be strictly increasing", name))
+		}
+	}
+	return r.lookup(name, help, kindHistogram, buckets, labels, func(ls []Label) any {
+		return newHistogram(buckets, ls)
+	}).(*Histogram)
+}
+
+// Value returns the current value of the (name, labels) series — counters
+// and gauges only — and whether it exists. The Reporter uses it to render
+// heartbeat lines; it is a read-side convenience, never a hot path.
+func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	f, ok := r.families[name]
+	if !ok {
+		r.mu.Unlock()
+		return 0, false
+	}
+	s, ok := f.series[seriesKey(labels)]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	switch m := s.(type) {
+	case *Counter:
+		return m.Value(), true
+	case *Gauge:
+		return m.Value(), true
+	}
+	return 0, false
+}
+
+// atomicFloat is a float64 updated with atomic bit operations. Set is a
+// plain store; Add is a CAS loop (uncontended in practice: every hot-path
+// writer owns its own series or updates at chunk granularity).
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) store(v float64) {
+	f.bits.Store(math.Float64bits(v))
+}
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing value. A nil Counter is a valid
+// no-op, so call sites need no registry checks of their own.
+type Counter struct {
+	labels []Label
+	v      atomicFloat
+}
+
+// Add increments the counter by v; negative or NaN increments are ignored
+// (a counter never goes down).
+func (c *Counter) Add(v float64) {
+	if c == nil || !(v > 0) {
+		return
+	}
+	c.v.add(v)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.add(1)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.load()
+}
+
+// Gauge is a value that can go up and down. A nil Gauge is a valid no-op.
+type Gauge struct {
+	labels []Label
+	v      atomicFloat
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.store(v)
+}
+
+// Add adjusts the gauge by v (negative to decrease).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.add(v)
+}
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.load()
+}
+
+// Histogram counts observations into fixed buckets. Observe is lock-free:
+// one atomic add on the bucket counter, one on the total count, and a CAS
+// add on the sum. A nil Histogram is a valid no-op.
+type Histogram struct {
+	labels []Label
+	upper  []float64 // bucket upper bounds, without +Inf
+	counts []atomic.Int64
+	inf    atomic.Int64
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+func newHistogram(buckets []float64, labels []Label) *Histogram {
+	return &Histogram{
+		labels: labels,
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Int64, len(buckets)),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket menus are small (≤ ~20) and the common case hits
+	// an early bucket, beating binary search's branch misses.
+	placed := false
+	for i, ub := range h.upper {
+		if v <= ub {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// DefDurationBuckets is the default bucket menu for duration histograms in
+// seconds: 100 µs to 100 s, one decade per two buckets — wide enough for
+// both a microsecond parse stage and a multi-minute streaming replay.
+var DefDurationBuckets = []float64{
+	1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2, 3.16e-2, 1e-1, 3.16e-1, 1, 3.16, 10, 31.6, 100,
+}
+
+// registryKey carries a *Registry through a context into internal/conc,
+// mirroring obs.WithPool: conc sits below every consumer, so it reads its
+// sink from the context instead of widening its API.
+type registryKey struct{}
+
+// WithRegistry attaches a registry to the context. Attaching nil returns
+// ctx unchanged, so callers can thread a maybe-nil registry through
+// unconditionally.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryKey{}, r)
+}
+
+// FromContext extracts the registry from the context, or nil.
+func FromContext(ctx context.Context) *Registry {
+	r, _ := ctx.Value(registryKey{}).(*Registry)
+	return r
+}

@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	// Negative and NaN adds are ignored — counters never go down.
+	c.Add(-1)
+	c.Add(math.NaN())
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter after bad adds = %v, want 3.5", got)
+	}
+	// Same (name, labels) returns the same series.
+	if r.Counter("reqs_total", "requests") != c {
+		t.Fatal("re-lookup returned a different series")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-2)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+}
+
+func TestLabelsDistinguishSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "", L("disk", "0"))
+	b := r.Counter("hits_total", "", L("disk", "1"))
+	if a == b {
+		t.Fatal("different label values must be different series")
+	}
+	// Label order must not matter.
+	x := r.Gauge("st", "", L("a", "1"), L("b", "2"))
+	y := r.Gauge("st", "", L("b", "2"), L("a", "1"))
+	if x != y {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Fatalf("sum = %v, want 106", got)
+	}
+	// Non-cumulative per-bucket counts: (≤1)=2, (≤2)=1, (≤5)=1, +Inf=1.
+	want := []int64{2, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.inf.Load(); got != 1 {
+		t.Fatalf("+Inf bucket = %d, want 1", got)
+	}
+}
+
+func TestNilRegistryAndHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_hist", "", []float64{1})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	// All methods must be safe on nil receivers.
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	g.Inc()
+	g.Dec()
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if _, ok := r.Value("x_total"); ok {
+		t.Fatal("nil registry Value must report not-found")
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil registry Snapshot = %v, want nil", got)
+	}
+}
+
+func TestRegistryValue(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(4)
+	r.Gauge("g", "", L("state", "idle")).Set(6)
+	if v, ok := r.Value("a_total"); !ok || v != 4 {
+		t.Fatalf("Value(a_total) = %v,%v", v, ok)
+	}
+	if v, ok := r.Value("g", L("state", "idle")); !ok || v != 6 {
+		t.Fatalf("Value(g{state=idle}) = %v,%v", v, ok)
+	}
+	if _, ok := r.Value("g", L("state", "busy")); ok {
+		t.Fatal("Value must miss on unknown label set")
+	}
+	if _, ok := r.Value("nope"); ok {
+		t.Fatal("Value must miss on unknown family")
+	}
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "bad metric name", func() { r.Counter("0bad", "") })
+	mustPanic(t, "bad metric chars", func() { r.Counter("with space", "") })
+	mustPanic(t, "bad label name", func() { r.Counter("ok_total", "", L("0bad", "v")) })
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "")
+	mustPanic(t, "counter re-registered as gauge", func() { r.Gauge("dual", "") })
+}
+
+func TestNonIncreasingBucketsPanic(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "non-increasing buckets", func() { r.Histogram("h", "", []float64{1, 1}) })
+	mustPanic(t, "decreasing buckets", func() { r.Histogram("h2", "", []float64{2, 1}) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c_total", "")
+			g := r.Gauge("g", "")
+			h := r.Histogram("h", "", []float64{0.5})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 2))
+				r.Snapshot() // concurrent reads must be safe too
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h", "", []float64{0.5}).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %v, want %d", got, workers*perWorker)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("empty context must yield nil registry")
+	}
+	if WithRegistry(ctx, nil) != ctx {
+		t.Fatal("attaching nil must return ctx unchanged")
+	}
+	r := NewRegistry()
+	if got := FromContext(WithRegistry(ctx, r)); got != r {
+		t.Fatalf("FromContext = %p, want %p", got, r)
+	}
+}

@@ -1,0 +1,214 @@
+package metrics
+
+// A minimal parser for the Prometheus text exposition format (version
+// 0.0.4), used ONLY by tests to validate that WriteExposition's output is
+// machine-parseable: it round-trips the exposition back into samples and
+// cross-checks them against Snapshot. It is deliberately strict — unknown
+// line shapes, bad escapes, or samples outside a declared family are
+// errors, so format drift fails loudly.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// promFamily is one parsed metric family.
+type promFamily struct {
+	Name, Help, Kind string
+	Samples          []Sample
+}
+
+// parsePromText parses an exposition document into families in document
+// order.
+func parsePromText(r io.Reader) ([]promFamily, error) {
+	var fams []promFamily
+	byName := map[string]*promFamily{}
+	cur := ""
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if !validName(name) {
+				return nil, fmt.Errorf("line %d: invalid HELP metric name %q", lineno, name)
+			}
+			if _, ok := byName[name]; ok {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %q", lineno, name)
+			}
+			fams = append(fams, promFamily{Name: name, Help: unescapeHelp(help)})
+			byName[name] = &fams[len(fams)-1]
+			cur = name
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, kind, _ := strings.Cut(rest, " ")
+			switch kind {
+			case kindCounter, kindGauge, kindHistogram:
+			default:
+				return nil, fmt.Errorf("line %d: unknown TYPE %q", lineno, kind)
+			}
+			f, ok := byName[name]
+			if !ok {
+				fams = append(fams, promFamily{Name: name})
+				byName[name] = &fams[len(fams)-1]
+				f = byName[name]
+			}
+			if f.Kind != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineno, name)
+			}
+			f.Kind = kind
+			cur = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free comment
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		f, ok := byName[cur]
+		if !ok || !sampleBelongs(f, s.Name) {
+			return nil, fmt.Errorf("line %d: sample %q outside its family (current %q)", lineno, s.Name, cur)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// sampleBelongs reports whether a sample name belongs to family f: the
+// family name itself, or the histogram component suffixes.
+func sampleBelongs(f *promFamily, name string) bool {
+	if name == f.Name {
+		return f.Kind != kindHistogram
+	}
+	if f.Kind != kindHistogram {
+		return false
+	}
+	return name == f.Name+"_bucket" || name == f.Name+"_sum" || name == f.Name+"_count"
+}
+
+// parseSampleLine parses `name{k="v",...} value` or `name value`.
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels, rest = labels, tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		// The format also allows +Inf/-Inf/NaN spellings.
+		switch strings.TrimSpace(rest) {
+		case "+Inf", "Inf":
+			return s, fmt.Errorf("non-finite sample value %q", rest)
+		}
+		return s, fmt.Errorf("bad sample value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `{k="v",...}` and returns the labels and the tail
+// after the closing brace.
+func parseLabels(in string) ([]Label, string, error) {
+	var out []Label
+	i := 1 // past '{'
+	for {
+		j := i
+		for j < len(in) && in[j] != '=' {
+			j++
+		}
+		if j >= len(in) {
+			return nil, "", fmt.Errorf("unterminated label in %q", in)
+		}
+		key := in[i:j]
+		if !validName(key) {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		if j+1 >= len(in) || in[j+1] != '"' {
+			return nil, "", fmt.Errorf("label %q missing quoted value", key)
+		}
+		val, next, err := parseQuoted(in[j+1:])
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, Label{key, val})
+		i = j + 1 + next
+		if i >= len(in) {
+			return nil, "", fmt.Errorf("unterminated label set in %q", in)
+		}
+		switch in[i] {
+		case ',':
+			i++
+		case '}':
+			return out, in[i+1:], nil
+		default:
+			return nil, "", fmt.Errorf("unexpected %q after label value", in[i])
+		}
+	}
+}
+
+// parseQuoted parses a double-quoted value with \\, \", and \n escapes,
+// returning the value and the offset just past the closing quote.
+func parseQuoted(in string) (string, int, error) {
+	if len(in) == 0 || in[0] != '"' {
+		return "", 0, fmt.Errorf("expected opening quote in %q", in)
+	}
+	var b strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch in[i] {
+		case '\\':
+			if i+1 >= len(in) {
+				return "", 0, fmt.Errorf("dangling escape in %q", in)
+			}
+			i++
+			switch in[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c in %q", in[i], in)
+			}
+		case '"':
+			return b.String(), i + 1, nil
+		default:
+			b.WriteByte(in[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted value in %q", in)
+}
+
+// unescapeHelp reverses escapeHelp.
+func unescapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\n`, "\n")
+	return strings.ReplaceAll(v, `\\`, `\`)
+}

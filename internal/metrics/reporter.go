@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Canonical metric names the simulator publishes and the Reporter reads.
+// They live here so the publisher (internal/sim), the heartbeat, and the
+// monitoring docs agree on one spelling.
+const (
+	// SimRequestsReplayed counts requests the simulator has replayed.
+	SimRequestsReplayed = "sim_requests_replayed_total"
+	// SimDisksInState gauges how many disks were last observed in each
+	// state (label "state": busy, idle, standby, transition).
+	SimDisksInState = "sim_disks_in_state"
+	// SimEnergyJoules gauges the total metered energy so far.
+	SimEnergyJoules = "sim_energy_joules"
+)
+
+// diskStates is the heartbeat's fixed state-mix rendering order.
+var diskStates = []string{"busy", "idle", "standby", "transition"}
+
+// ReporterOptions configures a heartbeat Reporter.
+type ReporterOptions struct {
+	// Registry is the registry the heartbeat reads (required for ticker
+	// lines; a Reporter with a nil registry still works as a Logf sink).
+	Registry *Registry
+	// Interval is the heartbeat period; zero disables the ticker, leaving
+	// only Logf. Negative intervals are treated as zero.
+	Interval time.Duration
+	// Total is the expected final value of the progress counter, for the
+	// percentage and ETA fields; zero renders neither.
+	Total int64
+	// Progress is the counter family the heartbeat tracks; empty selects
+	// SimRequestsReplayed.
+	Progress string
+	// Out receives the heartbeat and Logf lines; nil selects os.Stderr —
+	// never os.Stdout, so a -json or binary stdout stays machine-clean.
+	Out io.Writer
+}
+
+// Reporter is the streaming progress heartbeat: a ticker goroutine renders
+// one line per interval — progress, rate, ETA, heap, and the per-disk
+// state mix — to stderr (never stdout, which may carry JSON or binary
+// data). It doubles as the binaries' shared sink for one-off human-facing
+// progress lines (Logf), so every such line takes the same
+// stdout-safe path. A nil Reporter is a valid no-op.
+type Reporter struct {
+	opt  ReporterOptions
+	mu   sync.Mutex // serializes writes to opt.Out
+	stop chan struct{}
+	done chan struct{}
+
+	start    time.Time
+	lastT    time.Time
+	lastProg float64
+}
+
+// NewReporter returns a Reporter; Start begins the heartbeat. The zero
+// options give a Logf-only reporter writing to stderr.
+func NewReporter(opt ReporterOptions) *Reporter {
+	if opt.Out == nil {
+		opt.Out = os.Stderr
+	}
+	if opt.Progress == "" {
+		opt.Progress = SimRequestsReplayed
+	}
+	if opt.Interval < 0 {
+		opt.Interval = 0
+	}
+	return &Reporter{opt: opt}
+}
+
+// Logf writes one human-facing line to the reporter's writer (stderr by
+// default), serialized against heartbeat lines. A trailing newline is
+// added. Safe on a nil Reporter.
+func (r *Reporter) Logf(format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	fmt.Fprintf(r.opt.Out, format+"\n", args...)
+	r.mu.Unlock()
+}
+
+// SetTotal sets the expected final progress value (see
+// ReporterOptions.Total). It must be called before Start — binaries use it
+// when the trace header, and with it the request count, is only read after
+// the reporter announces startup lines. Safe on a nil Reporter.
+func (r *Reporter) SetTotal(total int64) {
+	if r == nil {
+		return
+	}
+	r.opt.Total = total
+}
+
+// Start launches the heartbeat ticker. It is a no-op on a nil Reporter,
+// with a zero interval, or when already started.
+func (r *Reporter) Start() {
+	if r == nil || r.opt.Interval <= 0 || r.stop != nil {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	r.start = time.Now()
+	r.lastT = r.start
+	r.lastProg, _ = r.opt.Registry.Value(r.opt.Progress)
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(r.opt.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case now := <-t.C:
+				r.beat(now, false)
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker, emitting one final heartbeat line so short runs
+// still show their end state. Safe on a nil or never-started Reporter.
+func (r *Reporter) Stop() {
+	if r == nil || r.stop == nil {
+		return
+	}
+	close(r.stop)
+	<-r.done
+	r.stop, r.done = nil, nil
+	r.beat(time.Now(), true)
+}
+
+// beat renders one heartbeat line.
+func (r *Reporter) beat(now time.Time, final bool) {
+	prog, ok := r.opt.Registry.Value(r.opt.Progress)
+	if !ok {
+		prog = 0
+	}
+	dt := now.Sub(r.lastT).Seconds()
+	rate := 0.0
+	if dt > 0 {
+		rate = (prog - r.lastProg) / dt
+	}
+	r.lastT, r.lastProg = now, prog
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	line := fmt.Sprintf("%7.1fs %s req", now.Sub(r.start).Seconds(), fmtCount(prog))
+	if r.opt.Total > 0 {
+		line += fmt.Sprintf(" (%.1f%%)", 100*prog/float64(r.opt.Total))
+	}
+	line += fmt.Sprintf("  %s req/s", fmtCount(rate))
+	if r.opt.Total > 0 && rate > 0 && !final {
+		if left := float64(r.opt.Total) - prog; left > 0 {
+			line += fmt.Sprintf("  ETA %s", (time.Duration(left / rate * float64(time.Second))).Round(time.Second))
+		}
+	}
+	line += fmt.Sprintf("  heap %s", fmtMiB(ms.HeapAlloc))
+	if mix := r.stateMix(); mix != "" {
+		line += "  disks " + mix
+	}
+	if e, ok := r.opt.Registry.Value(SimEnergyJoules); ok && e > 0 {
+		line += fmt.Sprintf("  energy %.0f J", e)
+	}
+	r.Logf("%s", line)
+}
+
+// stateMix renders the per-disk state mix from the SimDisksInState gauges,
+// e.g. "busy=1 idle=6 standby=1".
+func (r *Reporter) stateMix() string {
+	out := ""
+	for _, st := range diskStates {
+		v, ok := r.opt.Registry.Value(SimDisksInState, L("state", st))
+		if !ok || v == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", st, int64(v))
+	}
+	return out
+}
+
+// fmtCount renders a large count compactly: 12345 → "12.3k", 2.1e7 →
+// "21.0M".
+func fmtCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// fmtMiB renders a byte count in MiB.
+func fmtMiB(n uint64) string {
+	return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+}

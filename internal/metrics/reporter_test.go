@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReporterNilSafe(t *testing.T) {
+	var r *Reporter
+	r.Logf("ignored %d", 1)
+	r.Start()
+	r.Stop()
+}
+
+func TestReporterLogf(t *testing.T) {
+	var b bytes.Buffer
+	r := NewReporter(ReporterOptions{Out: &b})
+	r.Logf("hello %s", "world")
+	r.Logf("second")
+	if got := b.String(); got != "hello world\nsecond\n" {
+		t.Fatalf("Logf output = %q", got)
+	}
+	// Stop without Start is a no-op.
+	r.Stop()
+}
+
+func TestReporterLogfConcurrent(t *testing.T) {
+	var b bytes.Buffer
+	r := NewReporter(ReporterOptions{Out: &b})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r.Logf("line-%04d", j)
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 8*50 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*50)
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "line-") || len(ln) != len("line-0000") {
+			t.Fatalf("interleaved line %q", ln)
+		}
+	}
+}
+
+func TestReporterHeartbeatLine(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(SimRequestsReplayed, "").Add(5e6)
+	reg.Gauge(SimDisksInState, "", L("state", "idle")).Set(6)
+	reg.Gauge(SimDisksInState, "", L("state", "busy")).Set(2)
+	reg.Gauge(SimEnergyJoules, "").Set(1234.25)
+
+	var b bytes.Buffer
+	r := NewReporter(ReporterOptions{Registry: reg, Interval: time.Hour, Total: 1e7, Out: &b})
+	// Drive a beat directly instead of waiting for the ticker.
+	r.start = time.Now().Add(-10 * time.Second)
+	r.lastT = r.start
+	r.beat(time.Now(), false)
+
+	line := b.String()
+	for _, want := range []string{"5.0M req", "(50.0%)", "req/s", "ETA", "heap", "busy=2 idle=6", "energy 1234 J"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("heartbeat %q missing %q", line, want)
+		}
+	}
+	if strings.Contains(line, "standby=") {
+		t.Errorf("heartbeat %q shows zero-valued state", line)
+	}
+}
+
+func TestReporterStartStop(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter(SimRequestsReplayed, "")
+	var b lockedBuffer
+	r := NewReporter(ReporterOptions{Registry: reg, Interval: 5 * time.Millisecond, Total: 100, Out: &b})
+	r.Start()
+	r.Start() // double Start is a no-op
+	c.Add(100)
+	time.Sleep(25 * time.Millisecond)
+	r.Stop()
+	out := b.String()
+	if !strings.Contains(out, "100 req (100.0%)") {
+		t.Fatalf("heartbeat output missing final progress: %q", out)
+	}
+	// After Stop, the reporter can be restarted.
+	r.Start()
+	r.Stop()
+}
+
+func TestReporterZeroIntervalNoTicker(t *testing.T) {
+	var b bytes.Buffer
+	r := NewReporter(ReporterOptions{Registry: NewRegistry(), Out: &b})
+	r.Start()
+	r.Stop()
+	if b.Len() != 0 {
+		t.Fatalf("zero-interval reporter emitted %q", b.String())
+	}
+}
+
+func TestFmtCount(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {999, "999"}, {12345, "12.3k"}, {2.1e7, "21.0M"}, {3.5e9, "3.50G"},
+	}
+	for _, c := range cases {
+		if got := fmtCount(c.v); got != c.want {
+			t.Errorf("fmtCount(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+// lockedBuffer makes bytes.Buffer safe for the ticker goroutine + test reads.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter(SimRequestsReplayed, "requests replayed")
+	c.Add(41)
+
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := s.Addr()
+	if !strings.HasPrefix(addr, "127.0.0.1:") {
+		t.Fatalf("Addr() = %q", addr)
+	}
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ct := get("/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	_ = ct
+
+	code, body, ct = get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, SimRequestsReplayed+" 41") {
+		t.Fatalf("/metrics body missing counter: %q", body)
+	}
+	if fams, err := parsePromText(strings.NewReader(body)); err != nil || len(fams) == 0 {
+		t.Fatalf("/metrics body not parseable: %v", err)
+	}
+
+	// Scrapes are live: a second scrape sees the updated counter.
+	c.Add(1)
+	_, body, _ = get("/metrics")
+	if !strings.Contains(body, SimRequestsReplayed+" 42") {
+		t.Fatalf("second scrape stale: %q", body)
+	}
+
+	code, _, _ = get("/debug/pprof/cmdline")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/cmdline status = %d", code)
+	}
+}
+
+func TestServeNilRegistry(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", nil); err == nil {
+		t.Fatal("Serve(nil registry) must error")
+	}
+}
+
+func TestServeCloseNil(t *testing.T) {
+	var s *Server
+	if s.Addr() != "" {
+		t.Fatal("nil Server Addr must be empty")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:0", NewRegistry()); err == nil {
+		t.Fatal("Serve on a bad address must error")
+	}
+}

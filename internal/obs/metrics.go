@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"diskreuse/internal/metrics"
+)
+
+// MetricStageSeconds is the histogram the tracer bridge publishes: wall time
+// of every ended span, labelled by stage (the span name).
+const MetricStageSeconds = "obs_stage_duration_seconds"
+
+// stageBridge forwards ended spans into a metrics registry. Histogram
+// handles are resolved once per stage name and cached, so the per-End cost
+// is one map lookup under a short mutex plus the atomic bucket update.
+type stageBridge struct {
+	reg *metrics.Registry
+
+	mu    sync.Mutex
+	hists map[string]*metrics.Histogram
+}
+
+func (b *stageBridge) observe(name string, d time.Duration) {
+	b.mu.Lock()
+	h, ok := b.hists[name]
+	if !ok {
+		h = b.reg.Histogram(MetricStageSeconds,
+			"wall time of ended tracer spans by stage",
+			metrics.DefDurationBuckets, metrics.L("stage", name))
+		b.hists[name] = h
+	}
+	b.mu.Unlock()
+	h.Observe(d.Seconds())
+}
+
+// WithMetrics installs reg as the tracer's live-metrics bridge: every span
+// that ends afterwards also lands one observation on the
+// obs_stage_duration_seconds{stage=<name>} histogram, making stage timings
+// scrapeable mid-run (the tracer's own Totals() only aggregate after the
+// fact). Passing a nil registry uninstalls the bridge; a nil tracer is a
+// no-op. Safe to call concurrently with running spans — ends in flight see
+// either the old or the new sink.
+func WithMetrics(t *Tracer, reg *metrics.Registry) {
+	if t == nil {
+		return
+	}
+	if reg == nil {
+		t.bridge.Store(nil)
+		return
+	}
+	t.bridge.Store(&stageBridge{reg: reg, hists: make(map[string]*metrics.Histogram)})
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"diskreuse/internal/metrics"
+)
+
+// bridgeHist resolves the same histogram handle the bridge publishes to.
+func bridgeHist(reg *metrics.Registry, stage string) *metrics.Histogram {
+	return reg.Histogram(MetricStageSeconds,
+		"wall time of ended tracer spans by stage",
+		metrics.DefDurationBuckets, metrics.L("stage", stage))
+}
+
+// The bridge must agree with the tracer's own post-hoc aggregation: per
+// stage, histogram count equals StageTiming.Count exactly and histogram sum
+// equals TotalMS (converted to seconds) to float tolerance.
+func TestWithMetricsPinsTotals(t *testing.T) {
+	tr := NewTracer()
+	reg := metrics.NewRegistry()
+	WithMetrics(tr, reg)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				sp := tr.Start("replay", "sim")
+				ch := sp.Child("score")
+				time.Sleep(10 * time.Microsecond)
+				ch.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	totals := tr.Totals()
+	if len(totals) != 2 {
+		t.Fatalf("Totals() has %d stages, want 2: %+v", len(totals), totals)
+	}
+	for _, st := range totals {
+		h := bridgeHist(reg, st.Name)
+		if got := h.Count(); got != int64(st.Count) {
+			t.Errorf("stage %q: histogram count %d, Totals count %d", st.Name, got, st.Count)
+		}
+		wantSec := st.TotalMS / 1e3
+		if got := h.Sum(); math.Abs(got-wantSec) > 1e-9*(1+math.Abs(wantSec)) {
+			t.Errorf("stage %q: histogram sum %v s, Totals %v s", st.Name, got, wantSec)
+		}
+	}
+}
+
+// Only spans ended while the bridge is installed are observed; uninstalling
+// with a nil registry stops publication without touching the tracer.
+func TestWithMetricsInstallUninstall(t *testing.T) {
+	tr := NewTracer()
+	before := tr.Start("early", "t")
+	before.End() // no bridge yet: unobserved
+
+	reg := metrics.NewRegistry()
+	WithMetrics(tr, reg)
+	mid := tr.Start("early", "t")
+	mid.End()
+
+	WithMetrics(tr, nil)
+	after := tr.Start("early", "t")
+	after.End()
+
+	if got := bridgeHist(reg, "early").Count(); got != 1 {
+		t.Errorf("bridge observed %d spans, want exactly the one ended while installed", got)
+	}
+	if got := tr.SpanCount(); got != 3 {
+		t.Errorf("tracer recorded %d spans, want 3", got)
+	}
+}
+
+// Nil tracer and nil registry are both safe.
+func TestWithMetricsNilSafety(t *testing.T) {
+	WithMetrics(nil, metrics.NewRegistry())
+	WithMetrics(nil, nil)
+	var tr *Tracer
+	sp := tr.Start("x", "t")
+	sp.End()
+}

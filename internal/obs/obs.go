@@ -5,9 +5,10 @@
 // idle-locality metric of the paper's §5 argument), and a report layer
 // (Report) that renders per-app × per-version tables in text, JSON, or CSV.
 //
-// The package imports only the standard library, so every other package —
-// including the concurrency leaf internal/conc — can emit telemetry without
-// import cycles.
+// The package imports only the standard library and the stdlib-only metrics
+// leaf (internal/metrics, bridged via WithMetrics so ended spans double as
+// live histogram observations), so every other package — including the
+// concurrency leaf internal/conc — can emit telemetry without import cycles.
 //
 // Everything is nil-tolerant: a nil *Tracer, *Span, *Counter, *PoolStats,
 // or *SimTelemetry turns the corresponding calls into no-ops, so
@@ -40,6 +41,10 @@ type Tracer struct {
 	counters map[string]*Counter
 
 	pool PoolStats
+
+	// bridge, when non-nil, mirrors every ended span into a metrics
+	// registry (see WithMetrics). One atomic load when uninstalled.
+	bridge atomic.Pointer[stageBridge]
 }
 
 // NewTracer returns a Tracer whose span timestamps are monotonic offsets
@@ -213,6 +218,9 @@ func (s *Span) End() {
 	s.t.mu.Lock()
 	s.t.spans = append(s.t.spans, s)
 	s.t.mu.Unlock()
+	if b := s.t.bridge.Load(); b != nil {
+		b.observe(s.name, s.end-s.start)
+	}
 }
 
 // Counter is a named atomic counter. A nil Counter is a valid no-op.

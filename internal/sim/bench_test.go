@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"testing"
 
+	"diskreuse/internal/metrics"
 	"diskreuse/internal/obs"
 	"diskreuse/internal/trace"
 )
@@ -120,6 +121,34 @@ func BenchmarkTracerOverhead(b *testing.B) {
 			c := cfg(TPM, nDisks)
 			if tel {
 				c.Telemetry = obs.NewSimTelemetry(nDisks)
+			}
+			if _, err := RunPrepared(pt, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(nReq*b.N)/b.Elapsed().Seconds(), "reqs/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkMetricsOverhead is the live-metrics counterpart of
+// BenchmarkTracerOverhead: the "off" case (nil Config.Metrics) must stay at
+// the baseline replay speed — the hot loop pays only nil pointer checks —
+// and the "on" case bounds what live publication costs.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	const nReq, nDisks = 1 << 16, 16
+	reqs, diskOf := benchReplayTrace(nReq, nDisks)
+	pt, err := PrepareTrace(reqs, diskOf, nDisks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, live bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			c := cfg(TPM, nDisks)
+			if live {
+				c.Metrics = metrics.NewRegistry()
 			}
 			if _, err := RunPrepared(pt, c); err != nil {
 				b.Fatal(err)

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"diskreuse/internal/metrics"
+	"diskreuse/internal/obs"
+	"diskreuse/internal/trace"
+)
+
+// Enabling live metrics must be invisible to the deterministic results
+// contract: Result, interval stream, and telemetry bit-identical to a
+// no-metrics run at every policy and worker count, on both the prepared
+// and the streaming paths.
+func TestMetricsBitIdentity(t *testing.T) {
+	const nReq, nDisks = 20000, 8
+	reqs, diskOf := benchReplayTrace(nReq, nDisks)
+	pt, err := PrepareTrace(reqs, diskOf, nDisks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pol Policy, jobs int, reg *metrics.Registry, stream bool) (*Result, []Interval, *obs.SimTelemetry) {
+		var ivs []Interval
+		tel := obs.NewSimTelemetry(nDisks)
+		c := cfg(pol, nDisks)
+		c.Jobs = jobs
+		c.Metrics = reg
+		c.Record = func(iv Interval) { ivs = append(ivs, iv) }
+		c.Telemetry = tel
+		var res *Result
+		var err error
+		if stream {
+			src := trace.NewSliceSource(pt.Sorted(), 777)
+			defer src.Close()
+			res, err = RunStream(src, diskOf, c)
+		} else {
+			res, err = RunPrepared(pt, c)
+		}
+		if err != nil {
+			t.Fatalf("%s jobs=%d: %v", pol, jobs, err)
+		}
+		return res, ivs, tel
+	}
+	for _, pol := range []Policy{NoPM, TPM, DRPM} {
+		for _, jobs := range []int{1, 8} {
+			for _, stream := range []bool{false, true} {
+				wantRes, wantIvs, wantTel := run(pol, jobs, nil, stream)
+				res, ivs, tel := run(pol, jobs, metrics.NewRegistry(), stream)
+				if !reflect.DeepEqual(wantRes, res) {
+					t.Errorf("%s jobs=%d stream=%v: Result differs with metrics enabled", pol, jobs, stream)
+				}
+				if !reflect.DeepEqual(wantIvs, ivs) {
+					t.Errorf("%s jobs=%d stream=%v: interval stream differs with metrics enabled", pol, jobs, stream)
+				}
+				if !reflect.DeepEqual(wantTel, tel) {
+					t.Errorf("%s jobs=%d stream=%v: telemetry differs with metrics enabled", pol, jobs, stream)
+				}
+			}
+		}
+	}
+}
+
+// The published values must reconcile with the run's own results: request
+// counter equals the replayed count, the energy gauge settles to
+// Result.Energy, per-disk occupancy matches the telemetry, and the
+// current-state gauges always partition the disk population.
+func TestMetricsValues(t *testing.T) {
+	const nReq, nDisks = 20000, 8
+	reqs, diskOf := benchReplayTrace(nReq, nDisks)
+	pt, err := PrepareTrace(reqs, diskOf, nDisks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{1, 8} {
+		reg := metrics.NewRegistry()
+		tel := obs.NewSimTelemetry(nDisks)
+		c := cfg(TPM, nDisks)
+		c.Jobs = jobs
+		c.Metrics = reg
+		c.Telemetry = tel
+		res, err := RunPrepared(pt, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if v, ok := reg.Value(metrics.SimRequestsReplayed); !ok || v != nReq {
+			t.Errorf("jobs=%d: requests counter = %v,%v, want %d", jobs, v, ok, nReq)
+		}
+		if v, ok := reg.Value(metrics.SimEnergyJoules); !ok || v != res.Energy {
+			t.Errorf("jobs=%d: energy gauge = %v, want %v", jobs, v, res.Energy)
+		}
+		// TPM on a gappy trace must have spun down and back up.
+		if v, _ := reg.Value(metricSpinEvents, metrics.L("event", "spin_down")); v == 0 {
+			t.Errorf("jobs=%d: no spin_down events recorded", jobs)
+		}
+		if v, _ := reg.Value(metricSpinEvents, metrics.L("event", "spin_up")); v == 0 {
+			t.Errorf("jobs=%d: no spin_up events recorded", jobs)
+		}
+		// Per-disk occupancy counters agree with the telemetry's
+		// time-in-state to float tolerance (both fold the same intervals,
+		// but in different summation orders).
+		for d := 0; d < nDisks; d++ {
+			ds := &tel.Disks[d]
+			for k := 0; k < numStateKinds; k++ {
+				got, _ := reg.Value(metricDiskStateSeconds,
+					metrics.L("disk", strconv.Itoa(d)), metrics.L("state", StateKind(k).String()))
+				want := ds.TimeIn[diskStateOf(StateKind(k))]
+				if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+					t.Errorf("jobs=%d disk %d %s: occupancy %v, telemetry %v", jobs, d, StateKind(k), got, want)
+				}
+			}
+		}
+		// The current-state gauges partition the disks.
+		var population float64
+		for k := 0; k < numStateKinds; k++ {
+			v, _ := reg.Value(metrics.SimDisksInState, metrics.L("state", StateKind(k).String()))
+			population += v
+		}
+		if population != nDisks {
+			t.Errorf("jobs=%d: disks-in-state gauges sum to %v, want %d", jobs, population, nDisks)
+		}
+	}
+}
+
+// The streaming replay publishes at chunk granularity; the final counter
+// and gauge still settle to the exact totals.
+func TestStreamMetricsValues(t *testing.T) {
+	const nReq, nDisks = 20000, 8
+	reqs, diskOf := benchReplayTrace(nReq, nDisks)
+	pt, err := PrepareTrace(reqs, diskOf, nDisks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	c := cfg(DRPM, nDisks)
+	c.Metrics = reg
+	src := trace.NewSliceSource(pt.Sorted(), 777)
+	defer src.Close()
+	res, err := RunStream(src, diskOf, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := reg.Value(metrics.SimRequestsReplayed); !ok || v != float64(res.Requests) {
+		t.Errorf("requests counter = %v,%v, want %d", v, ok, res.Requests)
+	}
+	if v, ok := reg.Value(metrics.SimEnergyJoules); !ok || v != res.Energy {
+		t.Errorf("energy gauge = %v, want %v", v, res.Energy)
+	}
+	if v, _ := reg.Value(metricSpinEvents, metrics.L("event", "speed_shift")); v == 0 {
+		t.Error("DRPM run recorded no speed_shift events")
+	}
+}

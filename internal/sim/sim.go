@@ -24,6 +24,7 @@ import (
 
 	"diskreuse/internal/conc"
 	"diskreuse/internal/disk"
+	"diskreuse/internal/metrics"
 	"diskreuse/internal/obs"
 	"diskreuse/internal/power"
 	"diskreuse/internal/trace"
@@ -112,6 +113,15 @@ type Config struct {
 	// processor range. AttributeEnergy turns the accumulated shares into
 	// per-tenant energy.
 	Attribution *obs.ProcAttribution
+
+	// Metrics, when non-nil, receives live replay metrics: the
+	// requests-replayed counter, per-disk state occupancy and current-state
+	// series, spin/shift event counters, and the energy-so-far gauge —
+	// readable mid-run over the monitoring endpoint while Record, Telemetry,
+	// and Attribution only settle at the end. Publishing is strictly
+	// observe-only (the simulator never reads a metric back), so enabling it
+	// cannot perturb the bit-identical deterministic results contract.
+	Metrics *metrics.Registry
 
 	// RAIDWidth is the number of physical disks behind each I/O node —
 	// the RAID-level striping of Fig. 1, which is hidden from the compiler
@@ -365,11 +375,13 @@ func newStates(cfg Config, res *Result) []*diskSim {
 		meterModel.SpinDownEnergy *= w
 		meterModel.SpinUpEnergy *= w
 	}
+	lm := newLiveMetrics(cfg.Metrics, cfg.NumDisks)
 	states := make([]*diskSim, cfg.NumDisks)
 	for d := 0; d < cfg.NumDisks; d++ {
 		res.PerDisk[d].Meter = *power.NewMeter(meterModel)
 		states[d] = newDiskSim(cfg)
 		states[d].id = d
+		states[d].lm = lm
 	}
 	for _, h := range cfg.Hints {
 		states[h.Disk].hints = append(states[h.Disk].hints, h.Time)
@@ -388,6 +400,9 @@ func finishRun(cfg Config, states []*diskSim, res *Result) {
 		states[d].finish(res.Makespan-states[d].clock, st)
 		res.Energy += st.Meter.Total()
 		res.IOTime += st.BusyTime
+	}
+	if len(states) > 0 && states[0].lm != nil {
+		states[0].lm.energy.Set(res.Energy)
 	}
 	cfg.Telemetry.Finish()
 }
@@ -540,9 +555,14 @@ func runOpenLoop(pt *PreparedTrace, cfg Config, states []*diskSim, res *Result) 
 		}
 		st := &res.PerDisk[d]
 		var resp, makespan float64
+		var served reqCounter
+		if ds.lm != nil {
+			served.c = ds.lm.requests
+		}
 		for _, r := range pt.perDisk[d] {
 			busy0 := st.BusyTime
 			completion, rt := ds.service(r.Arrival, r.Size, st)
+			served.inc()
 			resp += rt
 			if completion > makespan {
 				makespan = completion
@@ -551,6 +571,7 @@ func runOpenLoop(pt *PreparedTrace, cfg Config, states []*diskSim, res *Result) 
 				attr.Observe(d, r.Proc, st.BusyTime-busy0, rt)
 			}
 		}
+		served.flush()
 		parts[d].resp = resp
 		parts[d].makespan = makespan
 		if record != nil {
@@ -619,6 +640,11 @@ func runClosedLoop(pt *PreparedTrace, cfg Config, states []*diskSim, res *Result
 	for k := range streams {
 		heap.Push(h, &streams[k])
 	}
+	var served reqCounter
+	if len(states) > 0 && states[0].lm != nil {
+		served.c = states[0].lm.requests
+	}
+	defer served.flush()
 	for h.Len() > 0 {
 		ps := heap.Pop(h).(*procStream)
 		k := ps.next
@@ -628,6 +654,7 @@ func runClosedLoop(pt *PreparedTrace, cfg Config, states []*diskSim, res *Result
 		st := &res.PerDisk[d]
 		busy0 := st.BusyTime
 		completion, resp := states[d].service(issue, r.Size, st)
+		served.inc()
 		if attr := cfg.Attribution; attr != nil {
 			attr.Observe(d, r.Proc, st.BusyTime-busy0, resp)
 		}
@@ -657,6 +684,7 @@ func runClosedLoop(pt *PreparedTrace, cfg Config, states []*diskSim, res *Result
 type diskSim struct {
 	cfg   Config
 	tel   *obs.SimTelemetry // telemetry sink; nil when disabled
+	lm    *liveMetrics      // live metrics sink; nil when disabled
 	m     disk.Model
 	clock float64 // completion time of the last serviced request
 
@@ -730,6 +758,9 @@ func (ds *diskSim) emit(kind StateKind, from, to float64, rpm int) {
 	if ds.tel != nil {
 		ds.tel.Observe(ds.id, diskStateOf(kind), from, to, rpm)
 	}
+	if ds.lm != nil {
+		ds.lm.observeInterval(ds.id, kind, to-from)
+	}
 	if ds.cfg.Record != nil {
 		ds.cfg.Record(Interval{Disk: ds.id, From: from, To: to, Kind: kind, RPM: rpm})
 	}
@@ -752,17 +783,26 @@ func (ds *diskSim) chargeStandby(st *DiskStats, from, dt float64) {
 
 func (ds *diskSim) chargeSpinDown(st *DiskStats, from float64) {
 	st.Meter.SpinDown()
+	if ds.lm != nil {
+		ds.lm.spinDowns.Inc()
+	}
 	ds.emit(StateTransition, from, from+ds.m.SpinDownTime, 0)
 }
 
 func (ds *diskSim) chargeSpinUp(st *DiskStats, from float64) {
 	st.Meter.SpinUp()
+	if ds.lm != nil {
+		ds.lm.spinUps.Inc()
+	}
 	ds.emit(StateTransition, from, from+ds.m.SpinUpTime, ds.m.RPMMax)
 }
 
 // chargeShift accounts a DRPM speed change and returns its duration.
 func (ds *diskSim) chargeShift(st *DiskStats, from float64, fromRPM, toRPM int) float64 {
 	st.Meter.Shift(fromRPM, toRPM)
+	if ds.lm != nil {
+		ds.lm.shifts.Inc()
+	}
 	dt := power.ShiftTime(ds.m, fromRPM, toRPM)
 	ds.emit(StateTransition, from, from+dt, toRPM)
 	return dt

@@ -71,6 +71,11 @@ func RunStream(src trace.Source, diskOf func(block int64) (int, error), cfg Conf
 		}
 	}
 	attr := cfg.Attribution
+	// Live metrics update at chunk granularity: the requests counter and
+	// energy gauge move once per chunk (between sharded passes, so the
+	// meter reads are race-free), which is what a monitoring scrape of a
+	// long out-of-core replay watches.
+	lm := states[0].lm
 	touched := make([]int, 0, cfg.NumDisks)
 	lastArrival := math.Inf(-1)
 	maxprocs := runtime.GOMAXPROCS(0)
@@ -130,6 +135,10 @@ func RunStream(src trace.Source, diskOf func(block int64) (int, error), cfg Conf
 			}
 			total += int64(len(chunk))
 			chunks++
+			if lm != nil {
+				lm.requests.Add(float64(len(chunk)))
+				lm.publishEnergy(res.PerDisk)
+			}
 			continue
 		}
 		touched = touched[:0]
@@ -189,6 +198,10 @@ func RunStream(src trace.Source, diskOf func(block int64) (int, error), cfg Conf
 		})
 		if err != nil {
 			return nil, err
+		}
+		if lm != nil {
+			lm.requests.Add(float64(len(chunk)))
+			lm.publishEnergy(res.PerDisk)
 		}
 	}
 	res.Requests = int(total)

@@ -38,6 +38,8 @@ import (
 	"io"
 	"math"
 	"sync"
+
+	"diskreuse/internal/metrics"
 )
 
 // Binary format constants.
@@ -306,6 +308,29 @@ type Reader struct {
 	chunk   int   // index of the next chunk, for error messages
 	decoded int64 // requests decoded so far
 	done    bool
+
+	// Live decode-throughput counters; nil unless SetMetrics installed
+	// them. Updated once per chunk, never inside the decode loop.
+	mChunks, mRequests, mBytes *metrics.Counter
+}
+
+// Live metric names the binary decoder publishes via SetMetrics.
+const (
+	metricTraceChunks   = "trace_chunks_decoded_total"
+	metricTraceRequests = "trace_requests_decoded_total"
+	metricTraceBytes    = "trace_bytes_decoded_total"
+)
+
+// SetMetrics installs live decode-throughput counters — chunks, requests,
+// and payload bytes decoded — resolved once here so Next pays only nil
+// checks at chunk granularity. A nil registry is a no-op.
+func (r *Reader) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	r.mChunks = reg.Counter(metricTraceChunks, "binary trace chunks decoded")
+	r.mRequests = reg.Counter(metricTraceRequests, "binary trace requests decoded")
+	r.mBytes = reg.Counter(metricTraceBytes, "binary trace payload bytes decoded (before framing)")
 }
 
 // NewReader reads and validates the header of a binary trace.
@@ -507,6 +532,11 @@ func (r *Reader) Next() ([]Request, error) {
 	}
 	r.chunk++
 	r.decoded += int64(count)
+	if r.mChunks != nil {
+		r.mChunks.Inc()
+		r.mRequests.Add(float64(count))
+		r.mBytes.Add(float64(chunkFrameLen + payloadLen))
+	}
 	return out, nil
 }
 

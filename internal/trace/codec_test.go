@@ -11,6 +11,7 @@ import (
 	"diskreuse/internal/core"
 	"diskreuse/internal/drlgen"
 	"diskreuse/internal/layout"
+	"diskreuse/internal/metrics"
 	"diskreuse/internal/parser"
 	"diskreuse/internal/sema"
 )
@@ -470,5 +471,51 @@ func TestSynthWriteStream(t *testing.T) {
 		if n != 800 {
 			t.Errorf("tenant %d issued %d requests, want an even 800", p, n)
 		}
+	}
+}
+
+// SetMetrics publishes decode throughput at chunk granularity: the final
+// counters must reconcile with the header and the encoded size.
+func TestReaderSetMetrics(t *testing.T) {
+	reqs := pipelineTrace(t, 3)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{NumProcs: 8, NumDisks: 4, NumRequests: int64(len(reqs)), ChunkCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(reqs); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	reg := metrics.NewRegistry()
+	rd.SetMetrics(reg)
+	rd.SetMetrics(nil) // no-op, must not clear the installed counters
+	var chunks int
+	for {
+		chunk, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks++
+		if v, _ := reg.Value("trace_chunks_decoded_total"); v != float64(chunks) {
+			t.Fatalf("after %d chunks counter reads %v", chunks, v)
+		}
+		_ = chunk
+	}
+	if v, _ := reg.Value("trace_requests_decoded_total"); v != float64(len(reqs)) {
+		t.Errorf("requests counter = %v, want %d", v, len(reqs))
+	}
+	if v, _ := reg.Value("trace_bytes_decoded_total"); v <= 0 || v >= float64(buf.Len()) {
+		t.Errorf("bytes counter = %v, want in (0, %d)", v, buf.Len())
 	}
 }
