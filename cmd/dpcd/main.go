@@ -1,0 +1,101 @@
+// Command dpcd is the compilation-and-simulation service: a resident HTTP
+// daemon that accepts DRL programs over a JSON API, runs the compile →
+// restructure → trace → simulate pipeline, and returns or streams the
+// results. Identical submissions are content-addressed into a bounded
+// artifact cache with in-flight deduplication, so repeat and concurrent
+// requests for the same program compile once and replay from the cached
+// artifacts.
+//
+// Usage:
+//
+//	dpcd -addr 127.0.0.1:8080
+//	curl -s localhost:8080/v1/compile -d '{"program":"array A[64] elem 4096\nnest N { for i = 0 to 63 { A[i] = A[i]; } }"}'
+//	curl -s localhost:8080/v1/simulate -d '{"program":"...", "versions":["Base","T-TPM-s"]}'
+//	curl -s 'localhost:8080/v1/simulate?stream=ndjson' -d '{"program":"..."}'
+//	curl -s localhost:8080/metrics   # cache hit/miss counters, latency histograms
+//
+// The listening address is printed to stderr as "dpcd: serving http://ADDR"
+// once the socket is bound (use -addr 127.0.0.1:0 for an ephemeral port).
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"diskreuse/internal/server"
+)
+
+type options struct {
+	addr     string
+	cache    int
+	maxBody  int64
+	maxIters int64
+	jobs     int
+	// ready, when non-nil, receives the bound address once listening
+	// (used by tests to learn an ephemeral port).
+	ready chan<- string
+}
+
+func main() {
+	o := &options{}
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	flag.IntVar(&o.cache, "cache", 0, "artifact cache capacity in entries (0 = default 64)")
+	flag.Int64Var(&o.maxBody, "max-body", 0, "request body size limit in bytes (0 = default 1 MiB)")
+	flag.Int64Var(&o.maxIters, "max-iterations", 0, "per-program loop-iteration budget (0 = default 4194304)")
+	flag.IntVar(&o.jobs, "jobs", 0, "per-request pipeline/simulation parallelism (0 = GOMAXPROCS)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "dpcd: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o); err != nil {
+		fmt.Fprintf(os.Stderr, "dpcd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is canceled, then drains in-flight requests.
+func run(ctx context.Context, o *options) error {
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	s := server.New(server.Config{
+		CacheEntries:  o.cache,
+		MaxBodyBytes:  o.maxBody,
+		MaxIterations: o.maxIters,
+		Jobs:          o.jobs,
+	})
+	srv := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(os.Stderr, "dpcd: serving http://%s\n", ln.Addr())
+	if o.ready != nil {
+		o.ready <- ln.Addr().String()
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

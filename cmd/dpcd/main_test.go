@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+const tinyProgram = `array A[32] elem 4096 stripe(unit=32K, factor=8, start=0)
+nest N {
+  for i = 0 to 31 {
+    A[i] = A[i];
+  }
+}
+`
+
+// TestServeAndShutdown boots the daemon on an ephemeral port, exercises a
+// compile round trip plus the monitoring endpoints, and checks that
+// cancellation drains the server cleanly.
+func TestServeAndShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, &options{addr: "127.0.0.1:0", ready: ready})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	body := fmt.Sprintf(`{"program":%q}`, tinyProgram)
+	resp, err := http.Post(base+"/v1/compile", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/compile = %d, body %s", resp.StatusCode, b)
+	}
+	var info struct {
+		Artifact string `json:"artifact"`
+		NumDisks int    `json:"num_disks"`
+	}
+	if err := json.Unmarshal(b, &info); err != nil {
+		t.Fatalf("compile response not JSON: %v (%s)", err, b)
+	}
+	if info.Artifact == "" || info.NumDisks != 8 {
+		t.Errorf("compile response = %s, want an artifact hash and 8 disks", b)
+	}
+	if got := resp.Header.Get("X-DPCD-Cache"); got != "miss" {
+		t.Errorf("first compile X-DPCD-Cache = %q, want %q", got, "miss")
+	}
+
+	resp, err = http.Get(base + "/v1/artifacts/" + info.Artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /v1/artifacts/{hash} = %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(m), "dpcd_compiles_total 1") {
+		t.Errorf("/metrics missing dpcd_compiles_total 1:\n%s", m)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after cancel")
+	}
+}
+
+// TestBadAddr pins the error path for an unusable listen address.
+func TestBadAddr(t *testing.T) {
+	if err := run(context.Background(), &options{addr: "256.0.0.1:bogus"}); err == nil {
+		t.Fatal("run on a bogus address: want error, got nil")
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diskreuse/internal/apps"
+	"diskreuse/internal/exp"
+	"diskreuse/internal/server"
+	"diskreuse/internal/trace"
+)
+
+// TestServedSimulateMatchesDpcsim cross-checks the two front doors of the
+// simulator: a dpcd-served simulate result must equal what dpcsim reports
+// when replaying the very same generated trace. The trace travels through
+// the exact binary codec (the text format rounds arrival times), the
+// program uses a single default-striped array so dpcsim's modular block
+// mapping and the layout engine's extent mapping agree, and the three
+// requested versions (Base, TPM, DRPM) replay the original schedule —
+// exactly what the exported trace holds. Every compared number must be
+// bit-identical.
+func TestServedSimulateMatchesDpcsim(t *testing.T) {
+	const prog = `array A[96][8] elem 4096 stripe(unit=32K, factor=8, start=0)
+nest Sweep {
+  for i = 0 to 95 {
+    for j = 0 to 7 {
+      A[i][j] = A[i][j];
+    }
+  }
+}
+nest Back {
+  for j = 0 to 7 {
+    for i = 0 to 95 {
+      A[i][j] = A[i][j];
+    }
+  }
+}
+`
+	const cpi = 2e-6
+
+	// Server side: POST the program, simulate Base/TPM/DRPM.
+	srv := server.New(server.Config{Jobs: 1})
+	body, _ := json.Marshal(server.SimulateRequest{
+		CompileRequest: server.CompileRequest{Program: prog, ComputePerIter: cpi},
+		Versions:       []string{"Base", "TPM", "DRPM"},
+	})
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate", strings.NewReader(string(body)))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("simulate: %d %s", rec.Code, rec.Body)
+	}
+	var resp server.SimulateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+
+	// dpcsim side: prepare the identical artifacts, export the original
+	// schedule's trace in the exact binary format, and replay it through
+	// dpcsim's own run path with -json.
+	art, err := exp.PrepareApp(context.Background(),
+		apps.App{Name: "ident", Source: prog, ComputePerIter: cpi},
+		exp.Options{Procs: 1, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := art.TraceFor(exp.VBase)
+	if len(reqs) == 0 {
+		t.Fatal("no generated trace for Base")
+	}
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeBinary(f, reqs, 1, art.NumDisks()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resetFlags(t)
+	o := options{disks: 8, unit: 32 << 10, pageSize: 4096, jobs: 1,
+		policy: "none,tpm,drpm", jsonOut: true, tracePath: path}
+	out := withStdio(t, "", func() error { return run(o) })
+	var pols []policyJSON
+	if err := json.Unmarshal([]byte(out), &pols); err != nil {
+		t.Fatalf("dpcsim -json output: %v\n%s", err, out)
+	}
+	if len(pols) != 3 {
+		t.Fatalf("dpcsim reported %d policies, want 3", len(pols))
+	}
+
+	for i, vr := range resp.Results {
+		pj := pols[i]
+		if vr.EnergyJ != pj.EnergyJ {
+			t.Errorf("%s: served energy %v != dpcsim %v", vr.Version, vr.EnergyJ, pj.EnergyJ)
+		}
+		if vr.NormEnergy != pj.NormEnergy {
+			t.Errorf("%s: served norm_energy %v != dpcsim %v", vr.Version, vr.NormEnergy, pj.NormEnergy)
+		}
+		if vr.IOTimeS != pj.IOTimeS {
+			t.Errorf("%s: served io_time %v != dpcsim %v", vr.Version, vr.IOTimeS, pj.IOTimeS)
+		}
+		if vr.ResponseS != pj.ResponseS {
+			t.Errorf("%s: served response %v != dpcsim %v", vr.Version, vr.ResponseS, pj.ResponseS)
+		}
+		if vr.Requests != pj.Requests {
+			t.Errorf("%s: served requests %d != dpcsim %d", vr.Version, vr.Requests, pj.Requests)
+		}
+		if vr.SpinUps != pj.SpinUps || vr.SpeedShifts != pj.SpeedShifts {
+			t.Errorf("%s: served spin-ups/shifts %d/%d != dpcsim %d/%d",
+				vr.Version, vr.SpinUps, vr.SpeedShifts, pj.SpinUps, pj.SpeedShifts)
+		}
+		if vr.Idle != pj.Idle {
+			t.Errorf("%s: served idle telemetry %+v != dpcsim %+v", vr.Version, vr.Idle, pj.Idle)
+		}
+	}
+}

@@ -52,8 +52,8 @@ func VersionsFor(procs int) []Version {
 	return vs
 }
 
-// policyOf maps a version to its power-management policy.
-func policyOf(v Version) sim.Policy {
+// PolicyOf maps a version to its power-management policy.
+func PolicyOf(v Version) sim.Policy {
 	switch v {
 	case VTPM, VTTPMs, VTTPMm:
 		return sim.TPM
@@ -352,26 +352,84 @@ func runsOf(r *core.Restructurer, order []int) int {
 	return runs
 }
 
-// artifacts memoizes the expensive per-application pipeline stages — the
+// Artifacts memoizes the expensive per-application pipeline stages — the
 // parsed and sema-analyzed program, the disk layout, and the prepared
 // executions with their generated and simulator-prepared traces — so the
 // seven version simulations share them read-only instead of re-deriving
-// them. One
-// artifacts value is computed per (app, procs) cell; every field is
-// immutable after prepareApp returns.
-type artifacts struct {
+// them. One Artifacts value is computed per (app, procs) cell; every field
+// is immutable after PrepareApp returns, so any number of RunVersion calls
+// — including calls from concurrent server requests against one cached
+// value — may share it.
+type Artifacts struct {
 	app                  apps.App
 	prog                 *sema.Program
 	lay                  *layout.Layout
 	orig, restrS, restrM *execution
 }
 
-// prepareApp runs the compile → layout → restructure → trace stages of the
+// App returns the application the artifacts were prepared from.
+func (art *Artifacts) App() apps.App { return art.app }
+
+// Program returns the parsed and sema-analyzed program.
+func (art *Artifacts) Program() *sema.Program { return art.prog }
+
+// NumDisks returns the disk count of the application's layout.
+func (art *Artifacts) NumDisks() int { return art.lay.NumDisks() }
+
+// DataBytes returns the total bytes of disk-resident array data.
+func (art *Artifacts) DataBytes() int64 { return dataBytes(art.prog) }
+
+// ExecInfo summarizes one prepared execution plan.
+type ExecInfo struct {
+	// Kind is "original", "restructured", or "layout-aware".
+	Kind string `json:"kind"`
+	// Requests is the generated trace's request count.
+	Requests int `json:"requests"`
+	// DiskRuns counts maximal same-disk spans in the schedule.
+	DiskRuns int `json:"disk_runs"`
+}
+
+// Executions summarizes the prepared execution plans in a fixed order
+// (original, restructured, layout-aware; the last only for procs > 1).
+func (art *Artifacts) Executions() []ExecInfo {
+	var out []ExecInfo
+	for _, e := range []struct {
+		kind string
+		ex   *execution
+	}{{"original", art.orig}, {"restructured", art.restrS}, {"layout-aware", art.restrM}} {
+		if e.ex == nil {
+			continue
+		}
+		out = append(out, ExecInfo{Kind: e.kind, Requests: len(e.ex.reqs), DiskRuns: e.ex.diskRuns})
+	}
+	return out
+}
+
+// TraceFor returns the generated request trace the version replays. The
+// slice is shared with the prepared replay — callers must treat it as
+// read-only. Versions whose execution was not prepared (the T-*-m versions
+// at procs == 1) return nil.
+func (art *Artifacts) TraceFor(v Version) []trace.Request {
+	e := art.execOf(v)
+	if e == nil {
+		return nil
+	}
+	return e.reqs
+}
+
+// PrepareApp runs the compile → layout → restructure → trace stages of the
 // pipeline once for an application, producing the shared artifacts every
 // version simulation replays. The front-end analyses (space enumeration,
 // validation, dependence build, disk attribution) share the caller's Jobs
-// budget, so -jobs accelerates preparation as well as simulation.
-func prepareApp(ctx context.Context, a apps.App, opt Options) (*artifacts, error) {
+// budget, so -jobs accelerates preparation as well as simulation. It is
+// the artifact-prepare seam the dpcd service content-addresses: everything
+// expensive and immutable happens here, everything per-request (telemetry,
+// policy parameters, replays) happens in RunVersionObserved.
+func PrepareApp(ctx context.Context, a apps.App, opt Options) (*Artifacts, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	opt.fill()
 	root := opt.Tracer.Start("prepare", "pipeline")
 	root.SetAttr("app", a.Name)
 	defer root.End()
@@ -420,11 +478,11 @@ func prepareApp(ctx context.Context, a apps.App, opt Options) (*artifacts, error
 			return nil, fmt.Errorf("exp: %s: %w", a.Name, err)
 		}
 	}
-	return &artifacts{app: a, prog: p, lay: lay, orig: orig, restrS: restrS, restrM: restrM}, nil
+	return &Artifacts{app: a, prog: p, lay: lay, orig: orig, restrS: restrS, restrM: restrM}, nil
 }
 
 // execOf selects the execution a version replays.
-func (art *artifacts) execOf(v Version) *execution {
+func (art *Artifacts) execOf(v Version) *execution {
 	switch v {
 	case VTTPMs, VTDRPMs:
 		return art.restrS
@@ -443,16 +501,66 @@ func (art *artifacts) execOf(v Version) *execution {
 	}
 }
 
-// runVersion simulates one version against the memoized artifacts and
+// Observers carries the per-run observer sinks of one version simulation.
+// Every field is owned by exactly one RunVersionObserved call: the sinks
+// accumulate mutable per-run state (telemetry state machines, attribution
+// cells, the interval stream), so they must never be stored alongside the
+// shared, immutable Artifacts — concurrent simulate requests replaying one
+// cached PreparedTrace each bring their own Observers and never alias each
+// other's telemetry. A zero Observers is valid: RunVersionObserved then
+// creates a private telemetry collector for the RunResult's idle-locality
+// fields and attaches nothing else.
+type Observers struct {
+	// Telemetry accumulates per-disk event telemetry; nil lets
+	// RunVersionObserved create a fresh, call-private collector (the
+	// RunResult's idle fields need one either way). A non-nil collector
+	// must be sized for the artifacts' disk count and must not be shared
+	// with any other in-flight run.
+	Telemetry *obs.SimTelemetry
+	// Attribution, when non-nil, accumulates per-(disk, processor) service
+	// attribution; it must be sized for the artifacts' disk count and the
+	// trace's processor ids, and, like Telemetry, owned by this run alone.
+	Attribution *obs.ProcAttribution
+	// Record, when non-nil, receives every state interval of every disk in
+	// the deterministic disk-major order (the dpcd NDJSON streaming hook).
+	Record func(sim.Interval)
+}
+
+// runVersion simulates one version against the memoized artifacts with a
+// private telemetry collector — the harness path.
+func (art *Artifacts) runVersion(v Version, opt Options) (RunResult, error) {
+	return art.RunVersionObserved(v, opt, Observers{})
+}
+
+// RunVersion simulates one version against the memoized artifacts and
 // returns its raw (unnormalized) measurement. It only reads art, so any
-// number of runVersion calls may run concurrently over the same artifacts.
-func (art *artifacts) runVersion(v Version, opt Options) (RunResult, error) {
+// number of RunVersion calls may run concurrently over the same artifacts.
+func (art *Artifacts) RunVersion(v Version, opt Options) (RunResult, error) {
+	return art.RunVersionObserved(v, opt, Observers{})
+}
+
+// RunVersionObserved is RunVersion with caller-supplied observer sinks.
+// art is only read; all mutable per-run state lives in obsv and in run-
+// local simulator state, which is what makes one cached Artifacts safe to
+// share across concurrent requests. Zero option fields take their
+// defaults, as in PrepareApp.
+func (art *Artifacts) RunVersionObserved(v Version, opt Options, obsv Observers) (RunResult, error) {
+	if err := opt.validate(); err != nil {
+		return RunResult{}, err
+	}
+	opt.fill()
 	root := opt.Tracer.Start("sim", "sim")
 	root.SetAttr("app", art.app.Name)
 	root.SetAttr("version", string(v))
 	defer root.End()
 	e := art.execOf(v)
-	tel := obs.NewSimTelemetry(art.lay.NumDisks())
+	if e == nil {
+		return RunResult{}, fmt.Errorf("exp: %s: version %s needs procs > 1 (no layout-aware execution was prepared)", art.app.Name, v)
+	}
+	tel := obsv.Telemetry
+	if tel == nil {
+		tel = obs.NewSimTelemetry(art.lay.NumDisks())
+	}
 	cfg := sim.Config{
 		Model:        opt.Model,
 		NumDisks:     art.lay.NumDisks(),
@@ -461,9 +569,11 @@ func (art *artifacts) runVersion(v Version, opt Options) (RunResult, error) {
 		DRPMRaise:    opt.DRPMRaise,
 		DRPMLower:    opt.DRPMLower,
 		RAIDWidth:    opt.RAIDWidth,
-		Policy:       policyOf(v),
+		Policy:       PolicyOf(v),
 		Jobs:         opt.Jobs,
 		Telemetry:    tel,
+		Attribution:  obsv.Attribution,
+		Record:       obsv.Record,
 		Span:         root,
 		Metrics:      opt.Metrics,
 	}
@@ -517,12 +627,12 @@ func (art *artifacts) runVersion(v Version, opt Options) (RunResult, error) {
 	return rr, nil
 }
 
-// normalize fills the Base-relative metrics once every version of an app
+// Normalize fills the Base-relative metrics once every version of an app
 // has been measured. Doing this after the fan-out (rather than interleaved
 // with it, as the serial pipeline used to) keeps the math identical at
 // every Jobs value: each version's raw numbers never depend on evaluation
-// order.
-func normalize(ar *AppResult) {
+// order. Results missing a Base row are left unnormalized.
+func Normalize(ar *AppResult) {
 	base, ok := ar.Get(VBase)
 	if !ok {
 		return
@@ -554,7 +664,7 @@ func RunAppContext(ctx context.Context, a apps.App, opt Options) (*AppResult, er
 	opt.fill()
 	ctx = obs.WithPool(ctx, opt.Tracer.Pool())
 	ctx = metrics.WithRegistry(ctx, opt.Metrics)
-	art, err := prepareApp(ctx, a, opt)
+	art, err := PrepareApp(ctx, a, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -571,7 +681,7 @@ func RunAppContext(ctx context.Context, a apps.App, opt Options) (*AppResult, er
 	if err != nil {
 		return nil, err
 	}
-	normalize(ar)
+	Normalize(ar)
 	return ar, nil
 }
 
@@ -605,9 +715,9 @@ func RunSuiteContext(ctx context.Context, opt Options) (*SuiteResult, error) {
 	suite := apps.Suite(opt.Size)
 	versions := versionsOf(opt)
 
-	arts := make([]*artifacts, len(suite))
+	arts := make([]*Artifacts, len(suite))
 	err := ForEach(ctx, len(suite), opt.Jobs, func(ctx context.Context, i int) error {
-		a, err := prepareApp(ctx, suite[i], opt)
+		a, err := PrepareApp(ctx, suite[i], opt)
 		if err != nil {
 			return err
 		}
@@ -642,7 +752,7 @@ func RunSuiteContext(ctx context.Context, opt Options) (*SuiteResult, error) {
 		return nil, err
 	}
 	for i := range sr.Apps {
-		normalize(&sr.Apps[i])
+		Normalize(&sr.Apps[i])
 	}
 	return sr, nil
 }

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"diskreuse/internal/apps"
+)
+
+// benchRequest builds a Small-scale simulate request; varying salt (the
+// modeled per-iteration compute time) perturbs the content-address
+// without meaningfully changing the work, which is how the cold path
+// defeats the cache below.
+func benchRequest(t testing.TB, salt int) string {
+	t.Helper()
+	a, err := apps.ByName("Cholesky", apps.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpi := a.ComputePerIter * (1 + float64(salt)*1e-12)
+	return fmt.Sprintf(`{"program":%q,"compute_per_iter":%g,"versions":["Base"]}`, a.Source, cpi)
+}
+
+func mustSimulate(t testing.TB, s *Server, body string) {
+	t.Helper()
+	rec := post(s, "/v1/simulate", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("simulate: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// BenchmarkServerCacheHit measures the repeat-submission path: identical
+// request, artifacts served from the cache, only the Base replay and the
+// JSON round trip remain.
+func BenchmarkServerCacheHit(b *testing.B) {
+	s := New(Config{})
+	body := benchRequest(b, 0)
+	mustSimulate(b, s, body) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustSimulate(b, s, body)
+	}
+}
+
+// BenchmarkServerCacheMiss measures the cold path: every request has a
+// fresh content-address, so the full parse → sema → restructure → trace
+// pipeline runs each iteration.
+func BenchmarkServerCacheMiss(b *testing.B) {
+	s := New(Config{CacheEntries: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustSimulate(b, s, benchRequest(b, i+1))
+	}
+}
+
+// TestServerCacheHitFaster is the acceptance pin behind the benchmarks: a
+// cache hit must answer at least 10x faster than a cold compile of the
+// same Small-scale request. Min-of-K timing keeps scheduler noise out.
+func TestServerCacheHitFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing comparison skipped under the race detector")
+	}
+	s := New(Config{})
+	warm := benchRequest(t, 0)
+	mustSimulate(t, s, warm) // populate the cache
+
+	const kHit, kCold = 20, 3
+	hit := time.Duration(1<<62 - 1)
+	for i := 0; i < kHit; i++ {
+		start := time.Now()
+		mustSimulate(t, s, warm)
+		if d := time.Since(start); d < hit {
+			hit = d
+		}
+	}
+	cold := time.Duration(1<<62 - 1)
+	for i := 0; i < kCold; i++ {
+		start := time.Now()
+		mustSimulate(t, s, benchRequest(t, i+1))
+		if d := time.Since(start); d < cold {
+			cold = d
+		}
+	}
+	t.Logf("cache hit %v vs cold %v (%.1fx)", hit, cold, float64(cold)/float64(hit))
+	if hit*10 > cold {
+		t.Errorf("cache hit %v is not >=10x faster than cold %v", hit, cold)
+	}
+}

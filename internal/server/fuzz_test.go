@@ -1,0 +1,73 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fuzzServer is shared across fuzz iterations so the cache and in-flight
+// paths get exercised by repeated inputs; the tight iteration budget
+// keeps pathological-but-valid programs from stalling the fuzzer.
+var fuzzServer = sync.OnceValue(func() *Server {
+	return New(Config{
+		CacheEntries:  8,
+		MaxBodyBytes:  1 << 16,
+		MaxIterations: 20000,
+		Jobs:          1,
+	})
+})
+
+// FuzzServerRequest throws arbitrary bytes at the JSON request decoder
+// and, through it, the DRL front end: whatever the body, the server must
+// answer 200 or a structured 4xx — never a 5xx, never a panic. Seeds
+// cover the valid request shapes, every decode error class, and the DRL
+// fragments of the parser's FuzzParse corpus wrapped in request JSON.
+func FuzzServerRequest(f *testing.F) {
+	validTiny := `array A[16] elem 4096 stripe(unit=32K, factor=8, start=0)
+nest N { for i = 0 to 15 { A[i] = A[i]; } }
+`
+	f.Add([]byte(fmt.Sprintf(`{"program":%q}`, validTiny)))
+	f.Add([]byte(fmt.Sprintf(`{"program":%q,"procs":2,"versions":["Base","T-TPM-m"],"sim":{"tpm_threshold":2.5}}`, validTiny)))
+	f.Add([]byte(fmt.Sprintf(`{"program":%q,"engine":"interp","proactive":true}`, validTiny)))
+	f.Add([]byte(`{"program":`))
+	f.Add([]byte(`{"program":"x","bogus":1}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"program":"nest ("}`))
+	f.Add([]byte(`{"program":"array A[4] elem 4096\nnest N { for i = 0 to 99999999 { A[0] = A[0]; } }"}`))
+	// DRL bodies from the FuzzParse seed corpus, wrapped as requests.
+	for _, drl := range []string{
+		"array A[2][3] elem 512 stripe(unit=8K, factor=3, start=1)\nnest N { for i = 0 to 1 { A[i][0] = A[i][0]; } }",
+		"for i = 0 to { }",
+		"array A[1] elem 4096\nnest N { for i = 0 to -1 { A[i] = A[i]; } }",
+		"param P = 4\narray A[P] elem 4096\nnest N { for i = 0 to P-1 { A[i] = A[i]; } }",
+	} {
+		f.Add([]byte(fmt.Sprintf(`{"program":%q}`, drl)))
+		f.Add([]byte(drl)) // raw DRL is not JSON: must be a clean 400
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s := fuzzServer()
+		for _, path := range []string{"/v1/simulate", "/v1/compile"} {
+			req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(string(body)))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code >= 500 {
+				t.Fatalf("%s answered %d for body %q", path, rec.Code, body)
+			}
+			if rec.Code != http.StatusOK {
+				var eb ErrorBody
+				if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+					t.Fatalf("%s: %d response is not structured error JSON: %v (%s)", path, rec.Code, err, rec.Body)
+				}
+				if eb.Error.Status != rec.Code || eb.Error.Code == "" || eb.Error.Message == "" {
+					t.Fatalf("%s: malformed error detail %+v for status %d", path, eb.Error, rec.Code)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether this test binary was built with -race;
+// timing-assertion tests skip themselves under the detector's overhead.
+const raceEnabled = true
